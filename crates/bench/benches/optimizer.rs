@@ -1,0 +1,40 @@
+#![allow(missing_docs)]
+//! Criterion benches for the Eq. 10 Monte-Carlo optimizer: the per-plan
+//! objective evaluation and a full small-scale optimization.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ivn_core::freqsel::{expected_peak, optimize, FreqSelConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_objective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expected_peak");
+    for &n in &[5usize, 10] {
+        let offsets = &ivn_core::PAPER_OFFSETS_HZ[..n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                expected_peak(black_box(offsets), 32, 1024, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimize_small(c: &mut Criterion) {
+    let cfg = FreqSelConfig {
+        n_antennas: 5,
+        rms_limit_hz: 199.0,
+        max_offset_hz: 160,
+        mc_draws: 16,
+        grid: 256,
+        restarts: 2,
+        iterations: 30,
+    };
+    c.bench_function("optimize_n5_small", |b| {
+        b.iter(|| optimize(black_box(&cfg), 7))
+    });
+}
+
+criterion_group!(benches, bench_objective, bench_optimize_small);
+criterion_main!(benches);

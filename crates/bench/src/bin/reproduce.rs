@@ -1,0 +1,72 @@
+//! `reproduce` — regenerates every table and figure of the IVN paper.
+//!
+//! ```text
+//! reproduce <target> [--quick]
+//!
+//! targets:
+//!   fig2    diode I-V curves (ideal vs threshold)
+//!   fig3    signal loss in tissue vs air
+//!   fig4    conduction angle across placements
+//!   fig6    CDF of 5-antenna gain, best vs worst frequency set
+//!   fig9    gain vs number of antennas
+//!   fig10   gain stability vs depth and orientation
+//!   fig11   gain across media (CIB vs baseline)
+//!   fig12   CDF of CIB/baseline power ratio
+//!   fig13   range vs antennas (both tags, air and water)
+//!   invivo  swine campaign (§6.2 / Fig. 15)
+//!   freqs   frequency-plan optimization (§5)
+//!   ablations   design-choice ablations
+//!   all     everything above in order
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let target = args.iter().find(|a| !a.starts_with('-')).cloned();
+
+    let Some(target) = target else {
+        eprintln!("usage: reproduce <fig2|fig3|fig4|fig6|fig9|fig10|fig11|fig12|fig13|invivo|freqs|ablations|all> [--quick]");
+        return ExitCode::FAILURE;
+    };
+
+    let render = |name: &str| -> Option<String> {
+        Some(match name {
+            "fig2" => ivn_bench::fig02_diode::run(quick),
+            "fig3" => ivn_bench::fig03_tissue_loss::run(quick),
+            "fig4" => ivn_bench::fig04_conduction::run(quick),
+            "fig6" => ivn_bench::fig06_freq_cdf::run(quick),
+            "fig9" => ivn_bench::fig09_gain_vs_antennas::run(quick),
+            "fig10" => ivn_bench::fig10_gain_stability::run(quick),
+            "fig11" => ivn_bench::fig11_media::run(quick),
+            "fig12" => ivn_bench::fig12_ratio_cdf::run(quick),
+            "fig13" => ivn_bench::fig13_range::run(quick),
+            "invivo" => ivn_bench::fig15_invivo::run(quick),
+            "freqs" => ivn_bench::tbl_freqs::run(quick),
+            "ablations" => ivn_bench::ablations::run(quick),
+            _ => return None,
+        })
+    };
+
+    if target == "all" {
+        for name in [
+            "fig2", "fig3", "fig4", "fig6", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "invivo", "freqs", "ablations",
+        ] {
+            print!("{}", render(name).expect("known target"));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    match render(&target) {
+        Some(s) => {
+            print!("{s}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown target '{target}'");
+            ExitCode::FAILURE
+        }
+    }
+}

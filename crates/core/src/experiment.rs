@@ -1,0 +1,502 @@
+//! Seeded experiment runners for every figure in the paper's evaluation.
+//!
+//! Each function reproduces one measurement campaign and returns the
+//! statistics the paper plots. The bench harness (`ivn-bench`) formats
+//! them into the paper's rows/series; integration tests assert their
+//! shapes.
+
+use crate::baselines::{Beamformer, BlindCoherent, CibBeamformer, CoherentMrt, SingleAntenna};
+use crate::body::{Placement, TagSpec, PAPER_EIRP_DBM};
+use crate::cib::CibConfig;
+use crate::system::{IvnSystem, SystemConfig};
+use ivn_dsp::complex::Complex64;
+use ivn_dsp::stats::{Ecdf, Summary};
+use ivn_dsp::units::dbm_to_watts;
+use ivn_em::medium::Medium;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// Draws `n` unit-amplitude blind channels.
+pub fn blind_channels<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|_| Complex64::from_polar(1.0, rng.random::<f64>() * TAU))
+        .collect()
+}
+
+/// Rician K-factor used for the "measured in a room" campaigns (Figs. 9,
+/// 11, 12): a dominant line-of-sight path plus indoor scatter. This is
+/// what makes the *measured* gain-over-single-antenna exceed the
+/// unit-amplitude analytic value — the single-antenna reference fades.
+pub const LAB_RICIAN_K: f64 = 4.0;
+
+/// Draws `n` blind channels with Rician-faded amplitudes (mean-square 1)
+/// and uniform phases — the ensemble of a real room.
+pub fn faded_channels<R: Rng + ?Sized>(rng: &mut R, n: usize, k_factor: f64) -> Vec<Complex64> {
+    let los = (k_factor / (1.0 + k_factor)).sqrt();
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            let scatter_amp = (-u.ln()).sqrt() / (1.0 + k_factor).sqrt();
+            let scatter_ph = rng.random::<f64>() * TAU;
+            let amp = (Complex64::from_real(los)
+                + Complex64::from_polar(scatter_amp, scatter_ph))
+            .norm();
+            Complex64::from_polar(amp, rng.random::<f64>() * TAU)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 6 — CDF of the 5-antenna peak power gain, best vs worst plan.
+// ---------------------------------------------------------------------
+
+/// Monte-Carlo CDF of the peak power gain for an offset plan under random
+/// phases (`trials` draws).
+pub fn peak_gain_cdf(offsets_hz: &[f64], trials: usize, grid: usize, seed: u64) -> Ecdf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = CibConfig {
+        offsets_hz: offsets_hz.to_vec(),
+        carrier_hz: crate::BEAMFORMER_CARRIER_HZ,
+        grid,
+    };
+    let samples: Vec<f64> = (0..trials)
+        .map(|_| cfg.received_peak_power(&blind_channels(&mut rng, offsets_hz.len())))
+        .collect();
+    Ecdf::new(samples)
+}
+
+// ---------------------------------------------------------------------
+// Fig. 9 — peak power gain vs number of antennas (nominal power budget).
+// ---------------------------------------------------------------------
+
+/// One Fig. 9 row: antenna count and the gain summary over `trials`
+/// random channel conditions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GainVsAntennas {
+    /// Antenna count.
+    pub n: usize,
+    /// Peak power gain over a single antenna (median, p10, p90).
+    pub gain: Summary,
+}
+
+/// Reproduces Fig. 9: gain vs antennas, 1..=n_max, `trials` per point.
+pub fn gain_vs_antennas(n_max: usize, trials: usize, seed: u64) -> Vec<GainVsAntennas> {
+    assert!((1..=10).contains(&n_max));
+    let mut rows = Vec::with_capacity(n_max);
+    for n in 1..=n_max {
+        let cfg = CibConfig::paper_prototype_n(n);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(n as u64));
+        let gains: Vec<f64> = (0..trials)
+            .map(|_| {
+                let ch = faded_channels(&mut rng, n, LAB_RICIAN_K);
+                cfg.received_peak_power(&ch) / ch[0].norm_sqr()
+            })
+            .collect();
+        rows.push(GainVsAntennas {
+            n,
+            gain: Summary::of(&gains).expect("non-empty"),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Fig. 10 — gain vs depth and orientation (stability).
+// ---------------------------------------------------------------------
+
+/// One Fig. 10 row: the swept parameter value and the gain summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GainAtParameter {
+    /// Depth in metres (Fig. 10a) or orientation in radians (Fig. 10b).
+    pub parameter: f64,
+    /// Peak power gain over a single antenna at the same location.
+    pub gain: Summary,
+}
+
+/// Fig. 10a: 10-antenna gain vs depth in water. The gain is the ratio of
+/// CIB's peak power to the single-antenna power *at the same location*,
+/// so the medium attenuation cancels and the result is flat (§6.1.1b).
+pub fn gain_vs_depth(depths_m: &[f64], trials: usize, seed: u64) -> Vec<GainAtParameter> {
+    let cfg = CibConfig::paper_prototype();
+    let tag = TagSpec::standard();
+    let eirp = dbm_to_watts(PAPER_EIRP_DBM);
+    depths_m
+        .iter()
+        .enumerate()
+        .map(|(di, &d)| {
+            let placement = Placement::water_tank(d);
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(di as u64 * 977));
+            let gains: Vec<f64> = (0..trials)
+                .map(|_| {
+                    let trial = placement.draw_trial(&mut rng, 10, &tag, eirp, cfg.carrier_hz);
+                    let single = trial.channels[0].norm_sqr();
+                    cfg.received_peak_power(&trial.channels) / single
+                })
+                .collect();
+            GainAtParameter {
+                parameter: d,
+                gain: Summary::of(&gains).expect("non-empty"),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 10b: 10-antenna gain vs receive-antenna orientation. Orientation
+/// scales every antenna's channel equally, so the gain is flat.
+pub fn gain_vs_orientation(
+    orientations_rad: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<GainAtParameter> {
+    let cfg = CibConfig::paper_prototype();
+    let tag = TagSpec::standard();
+    orientations_rad
+        .iter()
+        .enumerate()
+        .map(|(oi, &theta)| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(oi as u64 * 7919));
+            let orient = tag.antenna.orientation_factor(theta);
+            let gains: Vec<f64> = (0..trials)
+                .map(|_| {
+                    let channels: Vec<Complex64> = blind_channels(&mut rng, 10)
+                        .into_iter()
+                        .map(|c| c * orient.sqrt())
+                        .collect();
+                    let single = channels[0].norm_sqr();
+                    cfg.received_peak_power(&channels) / single
+                })
+                .collect();
+            GainAtParameter {
+                parameter: theta,
+                gain: Summary::of(&gains).expect("non-empty"),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 11 — gain across media, CIB vs the 10-antenna baseline.
+// ---------------------------------------------------------------------
+
+/// One Fig. 11 bar pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MediaGain {
+    /// Medium name.
+    pub medium: String,
+    /// CIB gain over a single antenna.
+    pub cib: Summary,
+    /// Blind 10-antenna baseline gain over a single antenna.
+    pub baseline: Summary,
+}
+
+/// Reproduces Fig. 11 over the paper's seven media.
+pub fn gain_across_media(trials: usize, seed: u64) -> Vec<MediaGain> {
+    let cfg = CibConfig::paper_prototype();
+    let cib = CibBeamformer { config: cfg };
+    let baseline = BlindCoherent { n: 10 };
+    Medium::figure11_media()
+        .into_iter()
+        .enumerate()
+        .map(|(mi, medium)| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(mi as u64 * 104729));
+            let mut cib_gains = Vec::with_capacity(trials);
+            let mut base_gains = Vec::with_capacity(trials);
+            for _ in 0..trials {
+                // Bulk attenuation is common to all antennas, so the gain
+                // over a single antenna is attenuation-free — the medium
+                // randomizes *phases*, which every medium does equally.
+                // This is the paper's Fig. 11 point: the gain is
+                // medium-independent. Small-scale Rician fading supplies
+                // the per-antenna amplitude spread of a real room.
+                let channels = faded_channels(&mut rng, 10, LAB_RICIAN_K);
+                let single = channels[0].norm_sqr();
+                cib_gains.push(cib.peak_power(&channels) / single);
+                base_gains.push(baseline.peak_power(&channels) / single);
+            }
+            MediaGain {
+                medium: medium.name,
+                cib: Summary::of(&cib_gains).expect("non-empty"),
+                baseline: Summary::of(&base_gains).expect("non-empty"),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 12 — CDF of the CIB / baseline power ratio per location.
+// ---------------------------------------------------------------------
+
+/// Reproduces Fig. 12: the per-location ratio of CIB peak power to the
+/// blind 10-antenna baseline's power, as an ECDF.
+pub fn cib_vs_baseline_cdf(trials: usize, seed: u64) -> Ecdf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cib = CibBeamformer {
+        config: CibConfig::paper_prototype(),
+    };
+    let baseline = BlindCoherent { n: 10 };
+    let ratios: Vec<f64> = (0..trials)
+        .map(|_| {
+            let channels = faded_channels(&mut rng, 10, LAB_RICIAN_K);
+            cib.peak_power(&channels) / baseline.peak_power(&channels).max(1e-12)
+        })
+        .collect();
+    Ecdf::new(ratios)
+}
+
+/// Ablation (§6.1.1c footnote): oracle coherent beamforming vs the blind
+/// baseline — in non-line-of-sight media, coherent precoding without
+/// valid channel estimates is no better than the baseline. Returns the
+/// ECDF of MRT-with-stale-phases / baseline ratios.
+pub fn stale_mrt_vs_baseline_cdf(trials: usize, seed: u64) -> Ecdf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let baseline = BlindCoherent { n: 10 };
+    let ratios: Vec<f64> = (0..trials)
+        .map(|_| {
+            // The "coherent beamformer" applied precoding for a *previous*
+            // channel draw; the medium shifted the phases since.
+            let stale = blind_channels(&mut rng, 10);
+            let current = blind_channels(&mut rng, 10);
+            let precoded: Vec<Complex64> = current
+                .iter()
+                .zip(&stale)
+                .map(|(h, s)| *h * s.conj())
+                .collect();
+            let coherent_power = precoded.iter().copied().sum::<Complex64>().norm_sqr();
+            coherent_power / baseline.peak_power(&current).max(1e-12)
+        })
+        .collect();
+    Ecdf::new(ratios)
+}
+
+// ---------------------------------------------------------------------
+// Fig. 13 — range/depth vs number of antennas, both tags.
+// ---------------------------------------------------------------------
+
+/// One Fig. 13 data point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RangePoint {
+    /// Antenna count.
+    pub n: usize,
+    /// Maximum operating range/depth, metres.
+    pub range_m: f64,
+}
+
+/// Which Fig. 13 panel to reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RangeEnvironment {
+    /// Line-of-sight air (Fig. 13a/b).
+    Air,
+    /// Water-tank depth (Fig. 13c/d).
+    Water,
+}
+
+/// Reproduces one Fig. 13 panel: max range vs antennas for a tag.
+pub fn range_vs_antennas(
+    env: RangeEnvironment,
+    tag: TagSpec,
+    n_max: usize,
+    seed: u64,
+) -> Vec<RangePoint> {
+    (1..=n_max)
+        .map(|n| {
+            let sys = IvnSystem::new(SystemConfig::paper_prototype(n, tag.clone()));
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(n as u64 * 31));
+            let range_m = match env {
+                RangeEnvironment::Air => sys.max_range_air(&mut rng, 0.05, 80.0, 2),
+                RangeEnvironment::Water => sys.max_depth_water(&mut rng, 0.5, 2),
+            };
+            RangePoint { n, range_m }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// §6.2 / Fig. 15 — in-vivo trials.
+// ---------------------------------------------------------------------
+
+/// One in-vivo campaign row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InVivoRow {
+    /// Placement name.
+    pub placement: String,
+    /// Tag name.
+    pub tag: String,
+    /// Successful trials.
+    pub successes: usize,
+    /// Total trials.
+    pub trials: usize,
+    /// Median preamble correlation across trials.
+    pub median_correlation: f64,
+}
+
+/// Reproduces the §6.2 swine campaign: gastric and subcutaneous
+/// placements × standard and miniature tags, `trials` placements each
+/// with 8 antennas.
+pub fn in_vivo_campaign(trials: usize, seed: u64) -> Vec<InVivoRow> {
+    let placements = [Placement::swine_gastric(), Placement::swine_subcutaneous()];
+    let tags = [TagSpec::standard(), TagSpec::miniature()];
+    let mut rows = Vec::new();
+    for (pi, placement) in placements.iter().enumerate() {
+        for (ti, tag) in tags.iter().enumerate() {
+            let sys = IvnSystem::new(SystemConfig::paper_prototype(8, tag.clone()));
+            let mut rng =
+                StdRng::seed_from_u64(seed.wrapping_add((pi * 2 + ti) as u64 * 65537));
+            let mut successes = 0;
+            let mut correlations = Vec::with_capacity(trials);
+            for _ in 0..trials {
+                let out = sys.run_session(&mut rng, placement);
+                if out.success() {
+                    successes += 1;
+                }
+                correlations.push(out.correlation);
+            }
+            rows.push(InVivoRow {
+                placement: placement.name.clone(),
+                tag: tag.power.name.clone(),
+                successes,
+                trials,
+                median_correlation: ivn_dsp::stats::median(&correlations).unwrap_or(0.0),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Oracle comparison used by several tests.
+// ---------------------------------------------------------------------
+
+/// Mean CIB-to-MRT peak-power ratio over random channels: how close blind
+/// CIB gets to the channel-aware optimum.
+pub fn cib_mrt_efficiency(n: usize, trials: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cib = CibBeamformer {
+        config: CibConfig::paper_prototype_n(n.min(10)),
+    };
+    let mrt = CoherentMrt { n: cib.n_antennas() };
+    let single = SingleAntenna;
+    let mut acc = 0.0;
+    for _ in 0..trials {
+        let ch = blind_channels(&mut rng, cib.n_antennas());
+        debug_assert!(single.peak_power(&ch) > 0.0);
+        acc += cib.peak_power(&ch) / mrt.peak_power(&ch);
+    }
+    acc / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_gain_scales_with_antennas() {
+        let rows = gain_vs_antennas(10, 100, 1);
+        assert_eq!(rows.len(), 10);
+        // Monotone (with Monte-Carlo slack) increase in the median.
+        for w in rows.windows(2) {
+            assert!(
+                w[1].gain.median > w[0].gain.median * 0.95,
+                "not monotone at n={}: {} then {}",
+                w[1].n,
+                w[0].gain.median,
+                w[1].gain.median
+            );
+        }
+        // Paper anchors: median ≈ 55× at 8 antennas; gains "as high as
+        // 85×" at 10 (upper percentile).
+        let g10 = rows[9].gain;
+        let g8 = rows[7].gain;
+        assert!(g10.median > 50.0 && g10.median <= 100.0, "g10 {g10}");
+        assert!(g10.p90 > 80.0, "g10 p90 {}", g10.p90);
+        assert!(g8.median > 35.0 && g8.median <= 70.0, "g8 {g8}");
+        assert!((rows[0].gain.median - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fig10_gain_flat_in_depth_and_orientation() {
+        let rows = gain_vs_depth(&[0.0, 0.05, 0.10, 0.15, 0.20], 40, 2);
+        let medians: Vec<f64> = rows.iter().map(|r| r.gain.median).collect();
+        let spread = medians.iter().cloned().fold(f64::MIN, f64::max)
+            - medians.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 20.0, "depth spread {spread}");
+        for m in &medians {
+            assert!(*m > 45.0 && *m <= 100.0, "median {m}");
+        }
+
+        let rows = gain_vs_orientation(&[0.0, 0.8, 1.6, 2.4, 3.1], 40, 3);
+        let medians: Vec<f64> = rows.iter().map(|r| r.gain.median).collect();
+        let spread = medians.iter().cloned().fold(f64::MIN, f64::max)
+            - medians.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 20.0, "orientation spread {spread}");
+    }
+
+    #[test]
+    fn fig11_cib_beats_baseline_everywhere() {
+        let rows = gain_across_media(80, 4);
+        assert_eq!(rows.len(), 7);
+        for row in &rows {
+            assert!(
+                row.cib.median > 45.0 && row.cib.median < 110.0,
+                "{}: cib {}",
+                row.medium,
+                row.cib.median
+            );
+            assert!(
+                row.baseline.median < 16.0,
+                "{}: baseline {}",
+                row.medium,
+                row.baseline.median
+            );
+            // The headline 8.5× CIB-over-baseline factor, loosely.
+            assert!(
+                row.cib.median / row.baseline.median > 4.0,
+                "{}: ratio {}",
+                row.medium,
+                row.cib.median / row.baseline.median
+            );
+        }
+    }
+
+    #[test]
+    fn fig12_ratio_cdf_shape() {
+        let cdf = cib_vs_baseline_cdf(400, 5);
+        // CIB wins ≥99 % of locations.
+        assert!(cdf.eval(1.0) < 0.01, "losses {}", cdf.eval(1.0));
+        // Median ratio around 8-12×.
+        let median = cdf.quantile(0.5).unwrap();
+        assert!(median > 6.0 && median < 16.0, "median ratio {median}");
+        // Heavy right tail: >100× happens.
+        assert!(cdf.quantile(0.99).unwrap() > 100.0);
+    }
+
+    #[test]
+    fn fig6_best_vs_worst_plan() {
+        let best = peak_gain_cdf(&crate::PAPER_OFFSETS_HZ[..5], 150, 2048, 6);
+        let worst = peak_gain_cdf(&[0.0, 1.0, 2.0, 3.0, 4.0], 150, 2048, 6);
+        // Best: 90 % of trials above 0.85·25.
+        assert!(best.eval(21.25) < 0.2, "best CDF at 21.25: {}", best.eval(21.25));
+        // Worst: most trials below that.
+        assert!(worst.quantile(0.5).unwrap() < best.quantile(0.5).unwrap());
+    }
+
+    #[test]
+    fn cib_efficiency_grows_toward_one() {
+        // With 10 tones scanning a 1 s period, blind CIB recovers ~60 % of
+        // the channel-aware MRT peak power on average (≈ 0.78 of the
+        // amplitude ceiling).
+        let e = cib_mrt_efficiency(10, 40, 7);
+        assert!(e > 0.45 && e <= 1.0, "efficiency {e}");
+        // Fewer antennas align better.
+        let e3 = cib_mrt_efficiency(3, 40, 7);
+        assert!(e3 > e, "e3 {e3} vs e10 {e}");
+    }
+
+    #[test]
+    fn stale_mrt_no_better_than_baseline() {
+        let cdf = stale_mrt_vs_baseline_cdf(300, 8);
+        let median = cdf.quantile(0.5).unwrap();
+        assert!(median < 3.0, "stale MRT median ratio {median}");
+    }
+}

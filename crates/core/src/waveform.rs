@@ -1,0 +1,302 @@
+//! The CIB envelope and its analytics.
+//!
+//! Everything the paper derives in §3.3–§3.6 about the waveform
+//! `Y(t) = |Σᵢ aᵢ·e^{j(2πΔfᵢt + βᵢ)}|` lives here: fast peak search over
+//! one period, the amplitude-flatness metric around the peak (Eq. 7), and
+//! the first-order droop bound (Eq. 8) that yields the RMS-offset
+//! constraint (Eq. 9).
+
+use ivn_dsp::complex::Complex64;
+use std::f64::consts::TAU;
+
+/// An analytic CIB envelope: tones at integer-hertz offsets with fixed
+/// phases and amplitudes, periodic in 1 second.
+#[derive(Debug, Clone)]
+pub struct CibEnvelope {
+    offsets_hz: Vec<f64>,
+    phases: Vec<f64>,
+    amplitudes: Vec<f64>,
+}
+
+impl CibEnvelope {
+    /// Creates an envelope with unit amplitudes.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or are empty.
+    pub fn new(offsets_hz: &[f64], phases: &[f64]) -> Self {
+        Self::with_amplitudes(offsets_hz, phases, &vec![1.0; offsets_hz.len()])
+    }
+
+    /// Creates an envelope with per-tone amplitudes (the physical case:
+    /// each antenna's channel has its own attenuation).
+    ///
+    /// # Panics
+    /// Panics if lengths differ or no tone is given.
+    pub fn with_amplitudes(offsets_hz: &[f64], phases: &[f64], amplitudes: &[f64]) -> Self {
+        assert!(!offsets_hz.is_empty(), "need at least one tone");
+        assert_eq!(offsets_hz.len(), phases.len(), "offsets/phases mismatch");
+        assert_eq!(offsets_hz.len(), amplitudes.len(), "offsets/amps mismatch");
+        CibEnvelope {
+            offsets_hz: offsets_hz.to_vec(),
+            phases: phases.to_vec(),
+            amplitudes: amplitudes.to_vec(),
+        }
+    }
+
+    /// Number of tones (antennas).
+    pub fn n(&self) -> usize {
+        self.offsets_hz.len()
+    }
+
+    /// The complex sum at time `t` seconds.
+    pub fn sample(&self, t: f64) -> Complex64 {
+        let mut acc = Complex64::ZERO;
+        for i in 0..self.offsets_hz.len() {
+            acc += Complex64::from_polar(
+                self.amplitudes[i],
+                TAU * self.offsets_hz[i] * t + self.phases[i],
+            );
+        }
+        acc
+    }
+
+    /// Envelope value `Y(t)`.
+    pub fn envelope(&self, t: f64) -> f64 {
+        self.sample(t).norm()
+    }
+
+    /// Sum of amplitudes — the unreachable-or-reached ceiling `Y ≤ Σaᵢ`
+    /// (equals N for unit amplitudes; paper §3.4).
+    pub fn ceiling(&self) -> f64 {
+        self.amplitudes.iter().sum()
+    }
+
+    /// Samples one period (1 s for integer offsets) on a uniform grid.
+    pub fn sample_period(&self, grid: usize) -> Vec<f64> {
+        assert!(grid > 0);
+        // Incremental rotation per tone: O(N·grid) with no trig in the
+        // inner loop.
+        let mut acc = vec![Complex64::ZERO; grid];
+        let dt = 1.0 / grid as f64;
+        for i in 0..self.offsets_hz.len() {
+            let step = Complex64::cis(TAU * self.offsets_hz[i] * dt);
+            let mut ph = Complex64::from_polar(self.amplitudes[i], self.phases[i]);
+            for a in acc.iter_mut() {
+                *a += ph;
+                ph *= step;
+            }
+        }
+        acc.into_iter().map(|z| z.norm()).collect()
+    }
+
+    /// Peak of the envelope over one period: `(t_peak, Y_peak)`.
+    ///
+    /// Grid search at `grid` points followed by local ternary refinement.
+    pub fn peak_over_period(&self, grid: usize) -> (f64, f64) {
+        let env = self.sample_period(grid);
+        let (k, _) = env
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty grid");
+        // Ternary-search refinement on the bracketing interval.
+        let dt = 1.0 / grid as f64;
+        let mut lo = (k as f64 - 1.0) * dt;
+        let mut hi = (k as f64 + 1.0) * dt;
+        for _ in 0..60 {
+            let m1 = lo + (hi - lo) / 3.0;
+            let m2 = hi - (hi - lo) / 3.0;
+            if self.envelope(m1) < self.envelope(m2) {
+                lo = m1;
+            } else {
+                hi = m2;
+            }
+        }
+        let t = 0.5 * (lo + hi);
+        (t.rem_euclid(1.0), self.envelope(t))
+    }
+
+    /// Peak *power* gain over a single reference antenna of amplitude
+    /// `ref_amp`: `(Y_peak / ref_amp)²`.
+    pub fn peak_power_gain(&self, grid: usize, ref_amp: f64) -> f64 {
+        assert!(ref_amp > 0.0);
+        let (_, y) = self.peak_over_period(grid);
+        (y / ref_amp).powi(2)
+    }
+
+    /// The paper's Eq. 7 fluctuation `(A_max − A_min)/A_max` over a window
+    /// of `duration_s` centred at `t_center`.
+    pub fn fluctuation_around(&self, t_center: f64, duration_s: f64, grid: usize) -> f64 {
+        assert!(grid > 1 && duration_s > 0.0);
+        let mut a_max = f64::MIN;
+        let mut a_min = f64::MAX;
+        for k in 0..grid {
+            let t = t_center - duration_s / 2.0 + duration_s * k as f64 / (grid - 1) as f64;
+            let v = self.envelope(t);
+            a_max = a_max.max(v);
+            a_min = a_min.min(v);
+        }
+        if a_max <= 0.0 {
+            0.0
+        } else {
+            (a_max - a_min) / a_max
+        }
+    }
+
+    /// First-order droop bound (Eq. 8): starting from a perfectly aligned
+    /// peak, after `dt` seconds the envelope is at least
+    /// `N − 2π²·dt²·ΣΔfᵢ²` (unit amplitudes). Returns that lower bound.
+    pub fn taylor_droop_bound(&self, dt: f64) -> f64 {
+        let n = self.ceiling();
+        let sum_sq: f64 = self.offsets_hz.iter().map(|f| f * f).sum();
+        n - 2.0 * std::f64::consts::PI.powi(2) * dt * dt * sum_sq
+    }
+
+    /// RMS of the frequency offsets, Hz (the Eq. 9 quantity).
+    pub fn rms_offset(&self) -> f64 {
+        rms_offset(&self.offsets_hz)
+    }
+}
+
+/// RMS of a set of offsets: `√(Σ Δfᵢ² / N)`.
+pub fn rms_offset(offsets_hz: &[f64]) -> f64 {
+    assert!(!offsets_hz.is_empty());
+    (offsets_hz.iter().map(|f| f * f).sum::<f64>() / offsets_hz.len() as f64).sqrt()
+}
+
+/// The Eq. 9 RMS bound for fluctuation tolerance `alpha` and command
+/// duration `dt_s`, in Hz.
+pub fn eq9_rms_bound(alpha: f64, dt_s: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha) && dt_s > 0.0);
+    (alpha / (2.0 * std::f64::consts::PI.powi(2) * dt_s * dt_s)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAPER_OFFSETS_HZ;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn aligned_phases_peak_at_n() {
+        let env = CibEnvelope::new(&PAPER_OFFSETS_HZ, &[0.0; 10]);
+        let (t, y) = env.peak_over_period(8192);
+        assert!((y - 10.0).abs() < 1e-6, "peak {y}");
+        assert!(t < 1e-4 || t > 1.0 - 1e-4, "peak time {t}");
+        assert!((env.peak_power_gain(8192, 1.0) - 100.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn random_phases_still_near_ceiling() {
+        // The CIB property: whatever the βᵢ, some instant in the period
+        // re-aligns the tones most of the way to the ceiling N = 10.
+        // (The 1-D time scan cannot align 9 independent phases perfectly;
+        // empirically the paper plan reaches ~0.7–0.85 of the ceiling.)
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let phases: Vec<f64> = (0..10).map(|_| rng.random::<f64>() * TAU).collect();
+            let env = CibEnvelope::new(&PAPER_OFFSETS_HZ, &phases);
+            let (_, y) = env.peak_over_period(8192);
+            assert!(y > 6.0, "peak only {y} with random phases");
+        }
+    }
+
+    #[test]
+    fn same_frequency_tones_do_not_scan() {
+        // All offsets equal (a traditional blind beamformer): the envelope
+        // is constant, and with adversarial phases it can be ~0 forever —
+        // the blind-spot problem of §3.4.
+        let phases = [0.0, TAU / 3.0, 2.0 * TAU / 3.0];
+        let env = CibEnvelope::new(&[50.0; 3], &phases);
+        let (_, y) = env.peak_over_period(4096);
+        assert!(y < 1e-9, "three balanced phasors should cancel, got {y}");
+    }
+
+    #[test]
+    fn peak_invariant_to_common_frequency_shift() {
+        // The optimization depends only on offset differences (§3.6).
+        let mut rng = StdRng::seed_from_u64(2);
+        let phases: Vec<f64> = (0..5).map(|_| rng.random::<f64>() * TAU).collect();
+        let a = CibEnvelope::new(&[0.0, 7.0, 20.0, 49.0, 68.0], &phases);
+        let shifted: Vec<f64> = [0.0, 7.0, 20.0, 49.0, 68.0].iter().map(|f| f + 3.0).collect();
+        let b = CibEnvelope::new(&shifted, &phases);
+        let (_, ya) = a.peak_over_period(8192);
+        let (_, yb) = b.peak_over_period(8192);
+        assert!((ya - yb).abs() < 1e-6);
+    }
+
+    #[test]
+    fn amplitude_weighted_ceiling() {
+        let env = CibEnvelope::with_amplitudes(&[0.0, 7.0], &[0.0, 0.0], &[2.0, 3.0]);
+        assert_eq!(env.ceiling(), 5.0);
+        let (_, y) = env.peak_over_period(4096);
+        assert!((y - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn envelope_periodicity() {
+        let env = CibEnvelope::new(&[0.0, 7.0, 20.0], &[0.3, 1.1, 2.7]);
+        for k in 0..10 {
+            let t = k as f64 * 0.083;
+            assert!((env.envelope(t) - env.envelope(t + 1.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sample_period_matches_pointwise() {
+        let env = CibEnvelope::new(&PAPER_OFFSETS_HZ, &[0.5; 10]);
+        let grid = env.sample_period(1000);
+        for k in (0..1000).step_by(97) {
+            assert!((grid[k] - env.envelope(k as f64 / 1000.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flatness_small_near_peak_for_paper_plan() {
+        // Eq. 7/9: the paper plan keeps the envelope within α = 0.5 over a
+        // ~800 µs command at the peak.
+        let env = CibEnvelope::new(&PAPER_OFFSETS_HZ, &[0.0; 10]);
+        let (t, _) = env.peak_over_period(8192);
+        let fl = env.fluctuation_around(t + 400e-6, 800e-6, 256);
+        assert!(fl < 0.5, "fluctuation {fl}");
+    }
+
+    #[test]
+    fn taylor_bound_holds() {
+        // The true envelope must sit at or above the Eq. 8 lower bound
+        // near an aligned peak.
+        let env = CibEnvelope::new(&PAPER_OFFSETS_HZ, &[0.0; 10]);
+        for dt in [1e-4, 4e-4, 8e-4] {
+            let bound = env.taylor_droop_bound(dt);
+            let actual = env.envelope(dt);
+            assert!(
+                actual >= bound - 1e-9,
+                "dt {dt}: actual {actual} < bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn rms_and_eq9() {
+        let rms = rms_offset(&PAPER_OFFSETS_HZ);
+        assert!((rms - 81.9).abs() < 0.5, "rms {rms}");
+        let bound = eq9_rms_bound(0.5, 800e-6);
+        assert!((bound - 199.0).abs() < 1.5, "bound {bound}");
+        assert!(rms < bound);
+    }
+
+    #[test]
+    fn wider_offsets_droop_faster() {
+        let narrow = CibEnvelope::new(&[0.0, 5.0, 11.0], &[0.0; 3]);
+        let wide = CibEnvelope::new(&[0.0, 500.0, 1100.0], &[0.0; 3]);
+        let dt = 8e-4;
+        assert!(wide.envelope(dt) < narrow.envelope(dt));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tone")]
+    fn rejects_empty() {
+        CibEnvelope::new(&[], &[]);
+    }
+}

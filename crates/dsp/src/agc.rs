@@ -1,0 +1,149 @@
+//! Automatic gain control.
+//!
+//! Receivers must scale wildly varying input levels (µV backscatter next
+//! to near-field blockers) into the ADC's window. Two flavours:
+//!
+//! * [`block_gain`] — one gain for a whole capture (what a measurement
+//!   receiver does between bursts);
+//! * [`Agc`] — a running feedback loop with attack/decay, for streaming
+//!   use.
+
+use crate::complex::Complex64;
+use serde::{Deserialize, Serialize};
+
+/// Computes the single gain that scales a block's RMS to `target_rms`.
+///
+/// Returns 1.0 for an empty or all-zero block.
+pub fn block_gain(block: &[Complex64], target_rms: f64) -> f64 {
+    assert!(target_rms > 0.0, "target must be positive");
+    if block.is_empty() {
+        return 1.0;
+    }
+    let rms =
+        (block.iter().map(|s| s.norm_sqr()).sum::<f64>() / block.len() as f64).sqrt();
+    if rms <= 0.0 {
+        1.0
+    } else {
+        target_rms / rms
+    }
+}
+
+/// A streaming AGC with asymmetric attack (fast when too loud) and decay
+/// (slow when too quiet) — the usual shape that protects the ADC first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Agc {
+    /// Target envelope amplitude at the output.
+    pub target: f64,
+    /// Gain-reduction rate per sample when above target (0–1, larger =
+    /// faster).
+    pub attack: f64,
+    /// Gain-recovery rate per sample when below target.
+    pub decay: f64,
+    /// Gain limits.
+    pub min_gain: f64,
+    /// Maximum gain.
+    pub max_gain: f64,
+    gain: f64,
+}
+
+impl Agc {
+    /// Creates an AGC with the given loop rates, starting at unit gain.
+    ///
+    /// # Panics
+    /// Panics on non-positive target or out-of-range rates.
+    pub fn new(target: f64, attack: f64, decay: f64, min_gain: f64, max_gain: f64) -> Self {
+        assert!(target > 0.0, "target must be positive");
+        assert!((0.0..=1.0).contains(&attack) && (0.0..=1.0).contains(&decay));
+        assert!(min_gain > 0.0 && min_gain <= max_gain);
+        Agc {
+            target,
+            attack,
+            decay,
+            min_gain,
+            max_gain,
+            gain: 1.0,
+        }
+    }
+
+    /// A receiver-typical AGC: fast attack, slow decay, 120 dB range.
+    pub fn receiver(target: f64) -> Self {
+        Agc::new(target, 0.05, 0.0005, 1e-3, 1e3)
+    }
+
+    /// Current loop gain.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Processes one sample, updating the loop.
+    pub fn process(&mut self, x: Complex64) -> Complex64 {
+        let y = x * self.gain;
+        let level = y.norm();
+        if level > self.target {
+            self.gain *= 1.0 - self.attack;
+        } else {
+            self.gain *= 1.0 + self.decay;
+        }
+        self.gain = self.gain.clamp(self.min_gain, self.max_gain);
+        y
+    }
+
+    /// Processes a block.
+    pub fn process_block(&mut self, input: &[Complex64]) -> Vec<Complex64> {
+        input.iter().map(|&x| self.process(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_gain_normalizes_rms() {
+        let block = vec![Complex64::new(4.0, 3.0); 10]; // rms 5
+        let g = block_gain(&block, 0.5);
+        assert!((g - 0.1).abs() < 1e-12);
+        assert_eq!(block_gain(&[], 1.0), 1.0);
+        assert_eq!(block_gain(&[Complex64::ZERO; 4], 1.0), 1.0);
+    }
+
+    #[test]
+    fn agc_converges_to_target_level() {
+        let mut agc = Agc::new(1.0, 0.02, 0.02, 1e-6, 1e6);
+        let input = Complex64::from_real(0.001);
+        let mut last = 0.0;
+        for _ in 0..200_000 {
+            last = agc.process(input).norm();
+        }
+        assert!((last - 1.0).abs() < 0.05, "settled at {last}");
+    }
+
+    #[test]
+    fn attack_faster_than_decay() {
+        let mut agc = Agc::receiver(0.25);
+        // Blast it: gain must drop quickly.
+        for _ in 0..500 {
+            agc.process(Complex64::from_real(100.0));
+        }
+        let crushed = agc.gain();
+        assert!(crushed < 0.01, "gain after blast {crushed}");
+        // Silence: gain recovers slowly.
+        for _ in 0..500 {
+            agc.process(Complex64::from_real(1e-6));
+        }
+        assert!(agc.gain() < crushed * 2.0, "decay too fast");
+    }
+
+    #[test]
+    fn gain_clamped() {
+        let mut agc = Agc::new(1.0, 0.5, 0.5, 0.1, 10.0);
+        for _ in 0..10_000 {
+            agc.process(Complex64::from_real(1e9));
+        }
+        assert!(agc.gain() >= 0.1);
+        for _ in 0..10_000 {
+            agc.process(Complex64::ZERO);
+        }
+        assert!(agc.gain() <= 10.0);
+    }
+}

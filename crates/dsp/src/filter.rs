@@ -1,0 +1,339 @@
+//! FIR and IIR filters.
+//!
+//! Two filters matter in the IVN receive chains:
+//!
+//! * the **SAW bandpass** in front of the out-of-band reader (modelled as a
+//!   sharp FIR bandpass at complex baseband), which rejects the CIB
+//!   transmitters' jamming 35 MHz away, and
+//! * **envelope smoothing** lowpass filters in the tag's detector and the
+//!   reader's decoder.
+//!
+//! FIR design uses the classic windowed-sinc method; IIR offers RBJ biquad
+//! sections for cheap smoothing.
+
+use crate::complex::Complex64;
+use crate::window::Window;
+use std::collections::VecDeque;
+use std::f64::consts::PI;
+
+/// Normalized sinc, `sin(πx)/(πx)`.
+fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-12 {
+        1.0
+    } else {
+        (PI * x).sin() / (PI * x)
+    }
+}
+
+/// Designs a linear-phase lowpass FIR by the windowed-sinc method.
+///
+/// `cutoff_hz` is the -6 dB edge; `taps` must be odd so the filter has an
+/// integer group delay of `(taps-1)/2` samples.
+///
+/// # Panics
+/// Panics if `taps` is even or zero, or the cutoff is outside
+/// `(0, sample_rate/2)`.
+pub fn design_lowpass(cutoff_hz: f64, sample_rate: f64, taps: usize, window: Window) -> Vec<f64> {
+    assert!(taps % 2 == 1 && taps > 0, "taps must be odd and nonzero");
+    assert!(
+        cutoff_hz > 0.0 && cutoff_hz < sample_rate / 2.0,
+        "cutoff must be in (0, Nyquist)"
+    );
+    let fc = cutoff_hz / sample_rate; // normalized (cycles/sample)
+    let m = (taps - 1) as f64 / 2.0;
+    let mut h: Vec<f64> = (0..taps)
+        .map(|n| 2.0 * fc * sinc(2.0 * fc * (n as f64 - m)) * window.value(n, taps))
+        .collect();
+    // Normalize DC gain to exactly 1.
+    let s: f64 = h.iter().sum();
+    for v in &mut h {
+        *v /= s;
+    }
+    h
+}
+
+/// Designs a linear-phase bandpass FIR centred between `low_hz` and
+/// `high_hz` (both -6 dB edges) by spectral subtraction of two lowpasses.
+///
+/// # Panics
+/// Panics on invalid edges or even `taps`.
+pub fn design_bandpass(
+    low_hz: f64,
+    high_hz: f64,
+    sample_rate: f64,
+    taps: usize,
+    window: Window,
+) -> Vec<f64> {
+    assert!(low_hz < high_hz, "low edge must be below high edge");
+    let hp = design_lowpass(high_hz, sample_rate, taps, window);
+    let lp = design_lowpass(low_hz, sample_rate, taps, window);
+    hp.iter().zip(&lp).map(|(a, b)| a - b).collect()
+}
+
+/// Evaluates the complex frequency response of an FIR at `freq_hz`.
+pub fn fir_response(taps: &[f64], freq_hz: f64, sample_rate: f64) -> Complex64 {
+    let w = 2.0 * PI * freq_hz / sample_rate;
+    taps.iter()
+        .enumerate()
+        .map(|(n, &h)| Complex64::cis(-w * n as f64) * h)
+        .sum()
+}
+
+/// A streaming FIR filter over complex samples.
+///
+/// Maintains its own delay line so it can be fed sample-by-sample or in
+/// blocks; output latency equals the filter's group delay.
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    taps: Vec<f64>,
+    delay: VecDeque<Complex64>,
+}
+
+impl FirFilter {
+    /// Creates a filter from designed taps.
+    ///
+    /// # Panics
+    /// Panics if `taps` is empty.
+    pub fn new(taps: Vec<f64>) -> Self {
+        assert!(!taps.is_empty(), "FIR needs at least one tap");
+        let len = taps.len();
+        FirFilter {
+            taps,
+            delay: VecDeque::from(vec![Complex64::ZERO; len]),
+        }
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Whether the filter has no taps (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// Group delay in samples, `(taps-1)/2` for the symmetric designs here.
+    pub fn group_delay(&self) -> usize {
+        (self.taps.len() - 1) / 2
+    }
+
+    /// Pushes one input sample and returns the corresponding output sample.
+    pub fn process(&mut self, x: Complex64) -> Complex64 {
+        self.delay.pop_back();
+        self.delay.push_front(x);
+        let mut acc = Complex64::ZERO;
+        for (h, s) in self.taps.iter().zip(self.delay.iter()) {
+            acc += *s * *h;
+        }
+        acc
+    }
+
+    /// Filters a block, producing an equal-length output.
+    pub fn process_block(&mut self, input: &[Complex64]) -> Vec<Complex64> {
+        input.iter().map(|&x| self.process(x)).collect()
+    }
+
+    /// Clears the delay line.
+    pub fn reset(&mut self) {
+        for s in &mut self.delay {
+            *s = Complex64::ZERO;
+        }
+    }
+}
+
+/// A single-pole IIR smoother for real-valued envelopes:
+/// `y[n] = a·x[n] + (1-a)·y[n-1]`.
+///
+/// This is the discrete model of the RC detector that follows the diode in
+/// an envelope detector.
+#[derive(Debug, Clone)]
+pub struct SinglePole {
+    alpha: f64,
+    state: f64,
+}
+
+impl SinglePole {
+    /// Creates a smoother with coefficient `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics when `alpha` is out of range.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        SinglePole { alpha, state: 0.0 }
+    }
+
+    /// Creates a smoother from a time constant τ (seconds) at a sample rate.
+    pub fn from_time_constant(tau_s: f64, sample_rate: f64) -> Self {
+        assert!(tau_s > 0.0 && sample_rate > 0.0);
+        let alpha = 1.0 - (-1.0 / (tau_s * sample_rate)).exp();
+        Self::new(alpha)
+    }
+
+    /// Current output state.
+    pub fn state(&self) -> f64 {
+        self.state
+    }
+
+    /// Processes one sample.
+    pub fn process(&mut self, x: f64) -> f64 {
+        self.state += self.alpha * (x - self.state);
+        self.state
+    }
+
+    /// Processes a block in place.
+    pub fn process_block(&mut self, data: &mut [f64]) {
+        for d in data {
+            *d = self.process(*d);
+        }
+    }
+
+    /// Resets internal state to zero.
+    pub fn reset(&mut self) {
+        self.state = 0.0;
+    }
+}
+
+/// Decimates a block by an integer factor, averaging each group (a crude
+/// but alias-safe polyphase stand-in adequate for envelope-rate signals).
+///
+/// # Panics
+/// Panics if `factor` is zero.
+pub fn decimate(input: &[Complex64], factor: usize) -> Vec<Complex64> {
+    assert!(factor > 0, "decimation factor must be nonzero");
+    input
+        .chunks(factor)
+        .map(|c| c.iter().copied().sum::<Complex64>() / c.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osc::Oscillator;
+    use crate::units::amplitude_to_db;
+
+    #[test]
+    fn lowpass_dc_gain_is_unity() {
+        let taps = design_lowpass(100.0, 1000.0, 63, Window::Hamming);
+        let dc = fir_response(&taps, 0.0, 1000.0);
+        assert!((dc.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowpass_attenuates_stopband() {
+        let taps = design_lowpass(50.0, 1000.0, 101, Window::Blackman);
+        let stop = fir_response(&taps, 200.0, 1000.0).norm();
+        assert!(
+            amplitude_to_db(stop) < -60.0,
+            "stopband only {} dB",
+            amplitude_to_db(stop)
+        );
+    }
+
+    #[test]
+    fn lowpass_halfpower_at_cutoff() {
+        let taps = design_lowpass(100.0, 1000.0, 201, Window::Hamming);
+        let edge = fir_response(&taps, 100.0, 1000.0).norm();
+        // Windowed-sinc: -6 dB (amplitude 0.5) at the design cutoff.
+        assert!((edge - 0.5).abs() < 0.02, "edge gain {edge}");
+    }
+
+    #[test]
+    fn bandpass_passes_centre_rejects_out_of_band() {
+        let taps = design_bandpass(80.0, 120.0, 1000.0, 201, Window::Blackman);
+        let centre = fir_response(&taps, 100.0, 1000.0).norm();
+        let low = fir_response(&taps, 10.0, 1000.0).norm();
+        let high = fir_response(&taps, 350.0, 1000.0).norm();
+        assert!(centre > 0.95, "passband gain {centre}");
+        assert!(amplitude_to_db(low) < -60.0);
+        assert!(amplitude_to_db(high) < -60.0);
+    }
+
+    #[test]
+    fn streaming_filter_passes_inband_tone() {
+        let taps = design_lowpass(100.0, 1000.0, 63, Window::Hamming);
+        let mut f = FirFilter::new(taps);
+        let mut osc = Oscillator::new(30.0, 1000.0);
+        let input = osc.generate(512);
+        let out = f.process_block(input.samples());
+        // After the transient, amplitude should be ~1.
+        let steady: f64 = out[200..]
+            .iter()
+            .map(|s| s.norm())
+            .sum::<f64>()
+            / (out.len() - 200) as f64;
+        assert!((steady - 1.0).abs() < 0.01, "steady amplitude {steady}");
+    }
+
+    #[test]
+    fn streaming_filter_rejects_stopband_tone() {
+        let taps = design_lowpass(50.0, 1000.0, 101, Window::Blackman);
+        let mut f = FirFilter::new(taps);
+        let mut osc = Oscillator::new(300.0, 1000.0);
+        let input = osc.generate(512);
+        let out = f.process_block(input.samples());
+        let steady: f64 = out[200..].iter().map(|s| s.norm()).sum::<f64>() / 312.0;
+        assert!(steady < 1e-3, "stopband leak {steady}");
+    }
+
+    #[test]
+    fn impulse_response_equals_taps() {
+        let taps = vec![0.25, 0.5, 0.25];
+        let mut f = FirFilter::new(taps.clone());
+        let mut impulse = vec![Complex64::ZERO; 5];
+        impulse[0] = Complex64::ONE;
+        let out = f.process_block(&impulse);
+        for (n, &h) in taps.iter().enumerate() {
+            assert!((out[n].re - h).abs() < 1e-12);
+        }
+        assert!(out[3].norm() < 1e-12);
+    }
+
+    #[test]
+    fn filter_reset_clears_state() {
+        let mut f = FirFilter::new(vec![1.0, 1.0]);
+        f.process(Complex64::ONE);
+        f.reset();
+        let y = f.process(Complex64::ZERO);
+        assert!(y.norm() < 1e-12);
+    }
+
+    #[test]
+    fn single_pole_steps_toward_input() {
+        let mut sp = SinglePole::new(0.5);
+        assert_eq!(sp.process(1.0), 0.5);
+        assert_eq!(sp.process(1.0), 0.75);
+        sp.reset();
+        assert_eq!(sp.state(), 0.0);
+    }
+
+    #[test]
+    fn single_pole_time_constant() {
+        // After τ seconds the step response reaches 1 - 1/e.
+        let fs = 1000.0;
+        let tau = 0.05;
+        let mut sp = SinglePole::from_time_constant(tau, fs);
+        let n = (tau * fs) as usize;
+        let mut y = 0.0;
+        for _ in 0..n {
+            y = sp.process(1.0);
+        }
+        assert!((y - (1.0 - 1.0 / std::f64::consts::E)).abs() < 0.01);
+    }
+
+    #[test]
+    fn decimate_averages_groups() {
+        let x: Vec<Complex64> = (0..6).map(|i| Complex64::from_real(i as f64)).collect();
+        let y = decimate(&x, 2);
+        assert_eq!(y.len(), 3);
+        assert!((y[0].re - 0.5).abs() < 1e-12);
+        assert!((y[2].re - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "taps must be odd")]
+    fn rejects_even_taps() {
+        design_lowpass(10.0, 100.0, 4, Window::Hann);
+    }
+}

@@ -1,0 +1,124 @@
+//! Goertzel single-bin DFT.
+//!
+//! The reader knows exactly where to look for the backscatter subcarrier
+//! (BLF = DR/TRcal), so evaluating one spectral bin with the Goertzel
+//! recurrence is far cheaper than a full FFT — the standard trick in RFID
+//! reader firmware.
+
+use crate::complex::Complex64;
+use std::f64::consts::TAU;
+
+/// Evaluates the DFT of `signal` at the single frequency `freq_hz`
+/// (sample rate `fs`), returning the complex bin value with the same
+/// scaling as a direct DFT sum.
+pub fn goertzel(signal: &[Complex64], freq_hz: f64, fs: f64) -> Complex64 {
+    assert!(fs > 0.0, "sample rate must be positive");
+    // Complex-input Goertzel: run the real recurrence on I and Q
+    // separately.
+    let w = TAU * freq_hz / fs;
+    let coeff = 2.0 * w.cos();
+    let (mut s1_re, mut s2_re, mut s1_im, mut s2_im) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for x in signal {
+        let s0_re = x.re + coeff * s1_re - s2_re;
+        let s0_im = x.im + coeff * s1_im - s2_im;
+        s2_re = s1_re;
+        s1_re = s0_re;
+        s2_im = s1_im;
+        s1_im = s0_im;
+    }
+    // Final phase-correction step:
+    // X(f) = (s[N−1] − e^{−jw}·s[N−2]) · e^{−jw(N−1)}.
+    let s1 = Complex64::new(s1_re, s1_im);
+    let s2 = Complex64::new(s2_re, s2_im);
+    let n = signal.len() as f64;
+    (s1 - s2 * Complex64::cis(-w)) * Complex64::cis(-w * (n - 1.0))
+}
+
+/// Power at a single frequency, `|X(f)|²`.
+pub fn goertzel_power(signal: &[Complex64], freq_hz: f64, fs: f64) -> f64 {
+    goertzel(signal, freq_hz, fs).norm_sqr()
+}
+
+/// Detects whether a tone at `freq_hz` is present: compares the bin power
+/// against the mean power of `probe_bins` nearby bins, returning the
+/// ratio (≥ `threshold` ⇒ present, by convention of the caller).
+pub fn tone_to_floor_ratio(
+    signal: &[Complex64],
+    freq_hz: f64,
+    fs: f64,
+    probe_spacing_hz: f64,
+    probe_bins: usize,
+) -> f64 {
+    assert!(probe_bins > 0 && probe_spacing_hz > 0.0);
+    let target = goertzel_power(signal, freq_hz, fs);
+    let mut floor = 0.0;
+    for k in 1..=probe_bins {
+        floor += goertzel_power(signal, freq_hz + k as f64 * probe_spacing_hz, fs);
+        floor += goertzel_power(signal, freq_hz - k as f64 * probe_spacing_hz, fs);
+    }
+    let floor = (floor / (2 * probe_bins) as f64).max(f64::MIN_POSITIVE);
+    target / floor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fft;
+    use crate::noise::AwgnSource;
+    use crate::osc::Oscillator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_direct_dft() {
+        let fs = 1000.0;
+        let mut osc = Oscillator::new(123.0, fs);
+        let sig = osc.generate(256);
+        for f in [0.0, 50.0, 123.0, 400.0] {
+            let g = goertzel(sig.samples(), f, fs);
+            let direct: Complex64 = sig
+                .samples()
+                .iter()
+                .enumerate()
+                .map(|(n, &x)| x * Complex64::cis(-TAU * f / fs * n as f64))
+                .sum();
+            assert!((g - direct).norm() < 1e-6 * direct.norm().max(1.0), "f={f}");
+        }
+    }
+
+    #[test]
+    fn matches_fft_bin() {
+        let fs = 1024.0;
+        let mut osc = Oscillator::new(96.0, fs);
+        let sig = osc.generate(1024);
+        let mut spec = sig.samples().to_vec();
+        fft(&mut spec);
+        // Bin 96 of a 1024-point FFT at fs=1024 is exactly 96 Hz.
+        let g = goertzel(sig.samples(), 96.0, fs);
+        assert!((g - spec[96]).norm() < 1e-6 * spec[96].norm());
+    }
+
+    #[test]
+    fn tone_detection_in_noise() {
+        let fs = 400e3;
+        let blf = 60e3;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut noise = AwgnSource::new(1.0);
+        let mut osc = Oscillator::new(blf, fs);
+        let n = 4000;
+        let sig: Vec<Complex64> = (0..n)
+            .map(|_| osc.next_sample() * 0.5 + noise.sample(&mut rng))
+            .collect();
+        let ratio = tone_to_floor_ratio(&sig, blf, fs, 1e3, 4);
+        assert!(ratio > 20.0, "tone/floor {ratio}");
+        // A frequency with no tone shows ratio near 1.
+        let off = tone_to_floor_ratio(&sig, blf + 37e3, fs, 1e3, 4);
+        assert!(off < 10.0, "empty-bin ratio {off}");
+    }
+
+    #[test]
+    fn zero_signal_zero_power() {
+        let sig = vec![Complex64::ZERO; 100];
+        assert_eq!(goertzel_power(&sig, 10.0, 100.0), 0.0);
+    }
+}

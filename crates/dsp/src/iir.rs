@@ -1,0 +1,309 @@
+//! Biquad IIR sections (RBJ audio-EQ-cookbook designs).
+//!
+//! Cheap recursive filters for the receiver chains: DC blockers ahead of
+//! the correlator, narrow notches on interfering tones, and resonators
+//! that pull the backscatter subcarrier out of the noise.
+
+use crate::complex::Complex64;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// A direct-form-I biquad over complex samples:
+/// `y[n] = (b0·x[n] + b1·x[n-1] + b2·x[n-2] − a1·y[n-1] − a2·y[n-2]) / a0`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Biquad {
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    a1: f64,
+    a2: f64,
+    x1: Complex64,
+    x2: Complex64,
+    y1: Complex64,
+    y2: Complex64,
+}
+
+impl Biquad {
+    /// Creates a biquad from normalized coefficients (a0 already divided
+    /// out).
+    pub fn from_coefficients(b0: f64, b1: f64, b2: f64, a1: f64, a2: f64) -> Self {
+        Biquad {
+            b0,
+            b1,
+            b2,
+            a1,
+            a2,
+            x1: Complex64::ZERO,
+            x2: Complex64::ZERO,
+            y1: Complex64::ZERO,
+            y2: Complex64::ZERO,
+        }
+    }
+
+    /// RBJ low-pass: cutoff `f0` Hz, quality `q`, at `fs` S/s.
+    ///
+    /// # Panics
+    /// Panics unless `0 < f0 < fs/2` and `q > 0`.
+    pub fn lowpass(f0: f64, q: f64, fs: f64) -> Self {
+        assert!(f0 > 0.0 && f0 < fs / 2.0 && q > 0.0, "invalid design");
+        let w0 = TAU * f0 / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Self::from_coefficients(
+            (1.0 - cw) / 2.0 / a0,
+            (1.0 - cw) / a0,
+            (1.0 - cw) / 2.0 / a0,
+            -2.0 * cw / a0,
+            (1.0 - alpha) / a0,
+        )
+    }
+
+    /// RBJ high-pass.
+    ///
+    /// # Panics
+    /// Panics unless `0 < f0 < fs/2` and `q > 0`.
+    pub fn highpass(f0: f64, q: f64, fs: f64) -> Self {
+        assert!(f0 > 0.0 && f0 < fs / 2.0 && q > 0.0, "invalid design");
+        let w0 = TAU * f0 / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Self::from_coefficients(
+            (1.0 + cw) / 2.0 / a0,
+            -(1.0 + cw) / a0,
+            (1.0 + cw) / 2.0 / a0,
+            -2.0 * cw / a0,
+            (1.0 - alpha) / a0,
+        )
+    }
+
+    /// RBJ notch at `f0` Hz with quality `q` — kills a single interfering
+    /// tone (e.g. the residual reader leak at DC offset).
+    ///
+    /// # Panics
+    /// Panics unless `0 < f0 < fs/2` and `q > 0`.
+    pub fn notch(f0: f64, q: f64, fs: f64) -> Self {
+        assert!(f0 > 0.0 && f0 < fs / 2.0 && q > 0.0, "invalid design");
+        let w0 = TAU * f0 / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Self::from_coefficients(
+            1.0 / a0,
+            -2.0 * cw / a0,
+            1.0 / a0,
+            -2.0 * cw / a0,
+            (1.0 - alpha) / a0,
+        )
+    }
+
+    /// RBJ band-pass (constant 0 dB peak) — a resonator on the
+    /// backscatter link frequency.
+    ///
+    /// # Panics
+    /// Panics unless `0 < f0 < fs/2` and `q > 0`.
+    pub fn bandpass(f0: f64, q: f64, fs: f64) -> Self {
+        assert!(f0 > 0.0 && f0 < fs / 2.0 && q > 0.0, "invalid design");
+        let w0 = TAU * f0 / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Self::from_coefficients(
+            alpha / a0,
+            0.0,
+            -alpha / a0,
+            -2.0 * cw / a0,
+            (1.0 - alpha) / a0,
+        )
+    }
+
+    /// Processes one sample.
+    pub fn process(&mut self, x: Complex64) -> Complex64 {
+        let y = x * self.b0 + self.x1 * self.b1 + self.x2 * self.b2
+            - self.y1 * self.a1
+            - self.y2 * self.a2;
+        self.x2 = self.x1;
+        self.x1 = x;
+        self.y2 = self.y1;
+        self.y1 = y;
+        y
+    }
+
+    /// Processes a block, returning the outputs.
+    pub fn process_block(&mut self, input: &[Complex64]) -> Vec<Complex64> {
+        input.iter().map(|&x| self.process(x)).collect()
+    }
+
+    /// Clears the delay state.
+    pub fn reset(&mut self) {
+        self.x1 = Complex64::ZERO;
+        self.x2 = Complex64::ZERO;
+        self.y1 = Complex64::ZERO;
+        self.y2 = Complex64::ZERO;
+    }
+
+    /// Magnitude response at frequency `f` (Hz) for sample rate `fs`.
+    pub fn magnitude_at(&self, f: f64, fs: f64) -> f64 {
+        let z1 = Complex64::cis(-TAU * f / fs);
+        let z2 = z1 * z1;
+        let num = Complex64::from_real(self.b0) + z1 * self.b1 + z2 * self.b2;
+        let den = Complex64::ONE + z1 * self.a1 + z2 * self.a2;
+        (num / den).norm()
+    }
+
+    /// Whether the poles are inside the unit circle (stable filter).
+    pub fn is_stable(&self) -> bool {
+        // Poles of z² + a1·z + a2: stable iff |a2| < 1 and |a1| < 1 + a2.
+        self.a2.abs() < 1.0 && self.a1.abs() < 1.0 + self.a2
+    }
+}
+
+/// A DC blocker: `y[n] = x[n] − x[n-1] + ρ·y[n-1]` — first-order, removes
+/// the reader's self-leak before correlation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DcBlocker {
+    rho: f64,
+    x1: Complex64,
+    y1: Complex64,
+}
+
+impl DcBlocker {
+    /// Creates a blocker; `rho` close to 1 gives a narrow notch at DC.
+    ///
+    /// # Panics
+    /// Panics unless `0 < rho < 1`.
+    pub fn new(rho: f64) -> Self {
+        assert!(rho > 0.0 && rho < 1.0, "rho must be in (0,1)");
+        DcBlocker {
+            rho,
+            x1: Complex64::ZERO,
+            y1: Complex64::ZERO,
+        }
+    }
+
+    /// Processes one sample.
+    pub fn process(&mut self, x: Complex64) -> Complex64 {
+        let y = x - self.x1 + self.y1 * self.rho;
+        self.x1 = x;
+        self.y1 = y;
+        y
+    }
+
+    /// Processes a block.
+    pub fn process_block(&mut self, input: &[Complex64]) -> Vec<Complex64> {
+        input.iter().map(|&x| self.process(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osc::Oscillator;
+
+    fn steady_amplitude(filter: &mut Biquad, freq: f64, fs: f64) -> f64 {
+        let mut osc = Oscillator::new(freq, fs);
+        let mut last: f64 = 0.0;
+        for k in 0..4000 {
+            let y = filter.process(osc.next_sample());
+            if k > 3000 {
+                last = last.max(y.norm());
+            }
+        }
+        last
+    }
+
+    #[test]
+    fn lowpass_passes_low_rejects_high() {
+        let fs = 10_000.0;
+        let mut f = Biquad::lowpass(500.0, std::f64::consts::FRAC_1_SQRT_2, fs);
+        assert!(f.is_stable());
+        let low = steady_amplitude(&mut f, 50.0, fs);
+        f.reset();
+        let high = steady_amplitude(&mut f, 4000.0, fs);
+        assert!((low - 1.0).abs() < 0.02, "low {low}");
+        assert!(high < 0.02, "high {high}");
+    }
+
+    #[test]
+    fn highpass_mirrors_lowpass() {
+        let fs = 10_000.0;
+        let mut f = Biquad::highpass(500.0, std::f64::consts::FRAC_1_SQRT_2, fs);
+        let low = steady_amplitude(&mut f, 20.0, fs);
+        f.reset();
+        let high = steady_amplitude(&mut f, 4000.0, fs);
+        assert!(low < 0.02, "low {low}");
+        assert!((high - 1.0).abs() < 0.05, "high {high}");
+    }
+
+    #[test]
+    fn notch_kills_only_the_tone() {
+        let fs = 10_000.0;
+        let mut f = Biquad::notch(1000.0, 10.0, fs);
+        let at_notch = steady_amplitude(&mut f, 1000.0, fs);
+        f.reset();
+        let nearby = steady_amplitude(&mut f, 1500.0, fs);
+        assert!(at_notch < 0.05, "notch leak {at_notch}");
+        assert!(nearby > 0.9, "collateral {nearby}");
+    }
+
+    #[test]
+    fn bandpass_selects_subcarrier() {
+        let fs = 400e3;
+        let blf = 60e3;
+        let mut f = Biquad::bandpass(blf, 5.0, fs);
+        let inband = steady_amplitude(&mut f, blf, fs);
+        f.reset();
+        let out = steady_amplitude(&mut f, 5e3, fs);
+        assert!(inband > 0.9, "inband {inband}");
+        assert!(out < 0.1, "out-of-band {out}");
+    }
+
+    #[test]
+    fn magnitude_response_matches_measurement() {
+        let fs = 10_000.0;
+        let f = Biquad::lowpass(500.0, std::f64::consts::FRAC_1_SQRT_2, fs);
+        let analytic = f.magnitude_at(500.0, fs);
+        // Butterworth Q: −3 dB at cutoff.
+        assert!((analytic - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn designs_are_stable() {
+        let fs = 48_000.0;
+        for f0 in [10.0, 100.0, 1000.0, 20_000.0] {
+            for q in [0.3, 0.707, 5.0, 30.0] {
+                assert!(Biquad::lowpass(f0, q, fs).is_stable(), "lp {f0}/{q}");
+                assert!(Biquad::notch(f0, q, fs).is_stable(), "notch {f0}/{q}");
+                assert!(Biquad::bandpass(f0, q, fs).is_stable(), "bp {f0}/{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn dc_blocker_removes_offset_keeps_signal() {
+        let fs = 10_000.0;
+        let mut blocker = DcBlocker::new(0.995);
+        let mut osc = Oscillator::new(1000.0, fs);
+        let mut out_dc = Complex64::ZERO;
+        let mut out_amp: f64 = 0.0;
+        let n = 8000;
+        for k in 0..n {
+            let x = osc.next_sample() + Complex64::from_real(5.0);
+            let y = blocker.process(x);
+            if k > n / 2 {
+                out_dc += y;
+                out_amp = out_amp.max(y.norm());
+            }
+        }
+        let mean = out_dc / (n / 2) as f64;
+        assert!(mean.norm() < 0.05, "residual DC {}", mean.norm());
+        assert!((out_amp - 1.0).abs() < 0.1, "signal amplitude {out_amp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid design")]
+    fn rejects_cutoff_above_nyquist() {
+        Biquad::lowpass(6000.0, 1.0, 10_000.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Amplitude modulation primitives.
+//!
+//! Reader-to-tag downlinks in EPC Gen2 are amplitude-shift keyed: the
+//! reader momentarily attenuates its carrier to cut PIE symbol notches. The
+//! tag replies by switching its reflection coefficient (backscatter), which
+//! at the reader looks like on-off keying of a faint subcarrier. Both are
+//! envelope-level operations built from the helpers in this module.
+
+use crate::buffer::IqBuffer;
+use crate::complex::Complex64;
+
+/// Converts a bit/level sequence into a per-sample amplitude profile.
+///
+/// Each level in `levels` is held for `samples_per_level` samples. Levels
+/// are linear amplitudes (1.0 = full carrier, 0.0 = fully cut).
+pub fn levels_to_profile(levels: &[f64], samples_per_level: usize) -> Vec<f64> {
+    assert!(samples_per_level > 0, "samples_per_level must be nonzero");
+    let mut out = Vec::with_capacity(levels.len() * samples_per_level);
+    for &l in levels {
+        out.extend(std::iter::repeat(l).take(samples_per_level));
+    }
+    out
+}
+
+/// Applies an amplitude profile to a signal in place (ASK modulation).
+///
+/// If the profile is shorter than the signal the remainder is left at the
+/// last profile value; an empty profile leaves the signal untouched.
+pub fn apply_profile(signal: &mut [Complex64], profile: &[f64]) {
+    if profile.is_empty() {
+        return;
+    }
+    for (i, s) in signal.iter_mut().enumerate() {
+        let a = profile.get(i).copied().unwrap_or(*profile.last().expect("non-empty"));
+        *s *= a;
+    }
+}
+
+/// On-off keying: generates a baseband waveform (constant carrier at DC)
+/// keyed by `bits`, `samples_per_bit` samples each, with amplitude
+/// `depth`-deep modulation: bit 1 → amplitude 1.0, bit 0 → `1.0 - depth`.
+///
+/// `depth = 1.0` is full OOK; Gen2 readers typically use 0.8–1.0 ("modulation
+/// depth" in the paper's §3).
+pub fn ook_waveform(bits: &[bool], samples_per_bit: usize, depth: f64, sample_rate: f64) -> IqBuffer {
+    assert!((0.0..=1.0).contains(&depth), "depth must be in [0,1]");
+    let levels: Vec<f64> = bits
+        .iter()
+        .map(|&b| if b { 1.0 } else { 1.0 - depth })
+        .collect();
+    let profile = levels_to_profile(&levels, samples_per_bit);
+    let mut buf = IqBuffer::new(vec![Complex64::ONE; profile.len()], sample_rate);
+    apply_profile(buf.samples_mut(), &profile);
+    buf
+}
+
+/// Measures the modulation depth `(A_hi − A_lo)/A_hi` of an envelope by
+/// comparing its upper and lower deciles.
+///
+/// Robust to noise compared to straight min/max. Returns 0 for signals
+/// shorter than 10 samples.
+pub fn measured_depth(envelope: &[f64]) -> f64 {
+    if envelope.len() < 10 {
+        return 0.0;
+    }
+    let mut sorted = envelope.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let lo = sorted[sorted.len() / 10];
+    let hi = sorted[sorted.len() - 1 - sorted.len() / 10];
+    if hi <= 0.0 {
+        0.0
+    } else {
+        (hi - lo) / hi
+    }
+}
+
+/// Hard-decision demodulation of an OOK envelope back into bits.
+///
+/// Slices each `samples_per_bit` window by comparing its mean against the
+/// midpoint of the envelope's extremes. For clean waveforms this is exact
+/// regardless of the bit mix; noisy links should pre-smooth or use
+/// [`crate::envelope::slice_hysteresis`].
+pub fn ook_demod(envelope: &[f64], samples_per_bit: usize) -> Vec<bool> {
+    assert!(samples_per_bit > 0);
+    if envelope.len() < samples_per_bit {
+        return Vec::new();
+    }
+    let lo = envelope.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = envelope.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let threshold = (lo + hi) / 2.0;
+    envelope
+        .chunks_exact(samples_per_bit)
+        .map(|w| w.iter().sum::<f64>() / w.len() as f64 > threshold)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_expansion() {
+        let p = levels_to_profile(&[1.0, 0.0], 3);
+        assert_eq!(p, vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn apply_profile_holds_last_value() {
+        let mut sig = vec![Complex64::ONE; 4];
+        apply_profile(&mut sig, &[0.5, 0.25]);
+        assert_eq!(sig[0].re, 0.5);
+        assert_eq!(sig[1].re, 0.25);
+        assert_eq!(sig[2].re, 0.25);
+        assert_eq!(sig[3].re, 0.25);
+    }
+
+    #[test]
+    fn apply_empty_profile_is_noop() {
+        let mut sig = vec![Complex64::ONE; 2];
+        apply_profile(&mut sig, &[]);
+        assert_eq!(sig[0], Complex64::ONE);
+    }
+
+    #[test]
+    fn ook_full_depth() {
+        let buf = ook_waveform(&[true, false, true], 4, 1.0, 100.0);
+        assert_eq!(buf.len(), 12);
+        assert!((buf.samples()[0].norm() - 1.0).abs() < 1e-12);
+        assert!(buf.samples()[5].norm() < 1e-12);
+    }
+
+    #[test]
+    fn ook_partial_depth() {
+        let buf = ook_waveform(&[false], 2, 0.3, 100.0);
+        assert!((buf.samples()[0].norm() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ook_roundtrip() {
+        let bits = vec![true, false, true, true, false, false, true, false];
+        let buf = ook_waveform(&bits, 8, 0.9, 1000.0);
+        let env = buf.envelope();
+        let decoded = ook_demod(&env, 8);
+        assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn depth_measurement() {
+        let bits: Vec<bool> = (0..50).map(|i| i % 2 == 0).collect();
+        let buf = ook_waveform(&bits, 10, 0.8, 1000.0);
+        let d = measured_depth(&buf.envelope());
+        assert!((d - 0.8).abs() < 0.05, "depth {d}");
+    }
+
+    #[test]
+    fn depth_of_flat_signal_is_zero() {
+        let env = vec![1.0; 100];
+        assert!(measured_depth(&env) < 1e-12);
+        assert_eq!(measured_depth(&[1.0; 5]), 0.0);
+    }
+
+    #[test]
+    fn demod_short_input_is_empty() {
+        assert!(ook_demod(&[1.0, 0.0], 4).is_empty());
+    }
+}

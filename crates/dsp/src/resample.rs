@@ -1,0 +1,154 @@
+//! Sample-rate conversion.
+//!
+//! The simulator runs different parts of the system at different rates —
+//! protocol waveforms at ~1 MS/s, envelope-level harvester models far
+//! slower — and occasionally needs to align them. Linear interpolation is
+//! sufficient for the smooth envelope-domain signals exchanged here.
+
+use crate::buffer::IqBuffer;
+use crate::complex::Complex64;
+
+/// Upsamples by an integer factor with zero-order hold (sample repetition).
+///
+/// # Panics
+/// Panics if `factor` is zero.
+pub fn upsample_hold(input: &[Complex64], factor: usize) -> Vec<Complex64> {
+    assert!(factor > 0, "factor must be nonzero");
+    let mut out = Vec::with_capacity(input.len() * factor);
+    for &s in input {
+        out.extend(std::iter::repeat(s).take(factor));
+    }
+    out
+}
+
+/// Downsamples by an integer factor, keeping every `factor`-th sample.
+///
+/// The caller is responsible for anti-alias filtering first (see
+/// [`crate::filter::decimate`] for a filtered variant).
+///
+/// # Panics
+/// Panics if `factor` is zero.
+pub fn downsample(input: &[Complex64], factor: usize) -> Vec<Complex64> {
+    assert!(factor > 0, "factor must be nonzero");
+    input.iter().copied().step_by(factor).collect()
+}
+
+/// Resamples a buffer to a new rate by linear interpolation.
+///
+/// Output length is `ceil(len · new_rate / old_rate)`. The interpolation
+/// clamps at the final sample (no extrapolation).
+pub fn resample_linear(input: &IqBuffer, new_rate: f64) -> IqBuffer {
+    assert!(new_rate > 0.0, "new rate must be positive");
+    let old_rate = input.sample_rate();
+    let samples = input.samples();
+    if samples.is_empty() {
+        return IqBuffer::zeros(0, new_rate);
+    }
+    let out_len = ((samples.len() as f64) * new_rate / old_rate).ceil() as usize;
+    let ratio = old_rate / new_rate;
+    let data = (0..out_len)
+        .map(|n| {
+            let x = n as f64 * ratio;
+            let i = x.floor() as usize;
+            if i + 1 >= samples.len() {
+                samples[samples.len() - 1]
+            } else {
+                let frac = x - i as f64;
+                samples[i] * (1.0 - frac) + samples[i + 1] * frac
+            }
+        })
+        .collect();
+    IqBuffer::new(data, new_rate)
+}
+
+/// Linear interpolation of a real-valued sequence at fractional index `x`
+/// (clamped to the valid range).
+///
+/// # Panics
+/// Panics on empty input.
+pub fn interp_at(data: &[f64], x: f64) -> f64 {
+    assert!(!data.is_empty(), "cannot interpolate empty data");
+    if x <= 0.0 {
+        return data[0];
+    }
+    let max = (data.len() - 1) as f64;
+    if x >= max {
+        return data[data.len() - 1];
+    }
+    let i = x.floor() as usize;
+    let frac = x - i as f64;
+    data[i] * (1.0 - frac) + data[i + 1] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64) -> Complex64 {
+        Complex64::from_real(re)
+    }
+
+    #[test]
+    fn hold_repeats_samples() {
+        let out = upsample_hold(&[c(1.0), c(2.0)], 3);
+        let re: Vec<f64> = out.iter().map(|s| s.re).collect();
+        assert_eq!(re, vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn downsample_strides() {
+        let x: Vec<Complex64> = (0..10).map(|i| c(i as f64)).collect();
+        let y = downsample(&x, 3);
+        let re: Vec<f64> = y.iter().map(|s| s.re).collect();
+        assert_eq!(re, vec![0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn up_then_down_identity() {
+        let x: Vec<Complex64> = (0..7).map(|i| c(i as f64)).collect();
+        let y = downsample(&upsample_hold(&x, 4), 4);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn linear_resample_preserves_ramp() {
+        // A linear ramp must survive linear interpolation exactly.
+        let input = IqBuffer::from_fn(10, 10.0, |t| c(t));
+        let out = resample_linear(&input, 20.0);
+        assert_eq!(out.sample_rate(), 20.0);
+        for (n, s) in out.samples().iter().enumerate().take(18) {
+            let expected = n as f64 / 20.0;
+            assert!((s.re - expected).abs() < 1e-12, "sample {n}");
+        }
+    }
+
+    #[test]
+    fn linear_resample_downrate() {
+        let input = IqBuffer::from_fn(100, 100.0, |t| c(t));
+        let out = resample_linear(&input, 25.0);
+        assert_eq!(out.len(), 25);
+        assert!((out.samples()[10].re - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_empty() {
+        let input = IqBuffer::zeros(0, 10.0);
+        let out = resample_linear(&input, 5.0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn interp_clamps_at_ends() {
+        let d = [1.0, 2.0, 4.0];
+        assert_eq!(interp_at(&d, -1.0), 1.0);
+        assert_eq!(interp_at(&d, 5.0), 4.0);
+        assert_eq!(interp_at(&d, 0.5), 1.5);
+        assert_eq!(interp_at(&d, 1.5), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn interp_rejects_empty() {
+        interp_at(&[], 0.0);
+    }
+}

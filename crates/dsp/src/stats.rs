@@ -1,0 +1,297 @@
+//! Descriptive statistics for experiment reporting.
+//!
+//! Every figure in the paper's evaluation is a median with 10th/90th
+//! percentile error bars or an empirical CDF; this module is the single
+//! implementation used by the bench harness, tests, and examples.
+
+use serde::{Deserialize, Serialize};
+
+/// Percentile of a sample set by linear interpolation between closest
+/// ranks (the common "type 7" estimator).
+///
+/// `p` is in `[0, 100]`. Returns `None` for an empty slice.
+pub fn percentile(data: &[f64], p: f64) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (50th percentile). `None` when empty.
+pub fn median(data: &[f64]) -> Option<f64> {
+    percentile(data, 50.0)
+}
+
+/// Arithmetic mean. `None` when empty.
+pub fn mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        None
+    } else {
+        Some(data.iter().sum::<f64>() / data.len() as f64)
+    }
+}
+
+/// Sample standard deviation (n−1 denominator). `None` for fewer than two
+/// points.
+pub fn std_dev(data: &[f64]) -> Option<f64> {
+    if data.len() < 2 {
+        return None;
+    }
+    let m = mean(data).expect("non-empty");
+    let var = data.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// The paper's standard summary: median with 10th and 90th percentiles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// 10th percentile.
+    pub p10: f64,
+    /// Median.
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+}
+
+impl Summary {
+    /// Computes the summary; `None` when the data is empty.
+    pub fn of(data: &[f64]) -> Option<Summary> {
+        Some(Summary {
+            p10: percentile(data, 10.0)?,
+            median: percentile(data, 50.0)?,
+            p90: percentile(data, 90.0)?,
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3} [{:.3}, {:.3}]",
+            self.median, self.p10, self.p90
+        )
+    }
+}
+
+/// An empirical cumulative distribution function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF from samples (NaNs are dropped).
+    pub fn new(mut data: Vec<f64>) -> Self {
+        data.retain(|x| !x.is_nan());
+        data.sort_by(f64::total_cmp);
+        Ecdf { sorted: data }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x` (the CDF value at `x`).
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile: smallest sample with CDF ≥ `q` (`q` in `(0, 1]`).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        if q == 0.0 {
+            return self.sorted.first().copied();
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize - 1).min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// Iterates `(x, F(x))` points suitable for plotting or printing the
+    /// paper's CDF figures.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(move |(i, &x)| (x, (i + 1) as f64 / n))
+    }
+
+    /// Underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && lo < hi, "invalid histogram bounds");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let bin =
+                ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64) as usize;
+            let last = self.counts.len() - 1;
+            self.counts[bin.min(last)] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations including out-of-range.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below range / at-or-above range.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Centre value of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 100.0), Some(4.0));
+        assert_eq!(percentile(&data, 50.0), Some(2.5));
+        assert_eq!(median(&data), Some(2.5));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let data = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median(&data), Some(2.5));
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&data), Some(5.0));
+        let sd = std_dev(&data).unwrap();
+        assert!((sd - 2.138).abs() < 1e-3);
+        assert_eq!(std_dev(&[1.0]), None);
+    }
+
+    #[test]
+    fn summary_display() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert!(s.p10 < s.median && s.median < s.p90);
+        assert!(s.to_string().contains("3.000"));
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn ecdf_eval_and_quantile() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.eval(0.0), 0.0);
+        assert_eq!(e.eval(2.0), 0.5);
+        assert_eq!(e.eval(10.0), 1.0);
+        assert_eq!(e.quantile(0.5), Some(2.0));
+        assert_eq!(e.quantile(1.0), Some(4.0));
+        assert_eq!(e.quantile(0.25), Some(1.0));
+    }
+
+    #[test]
+    fn ecdf_drops_nan_and_handles_empty() {
+        let e = Ecdf::new(vec![f64::NAN, 1.0]);
+        assert_eq!(e.len(), 1);
+        let empty = Ecdf::new(vec![]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.eval(1.0), 0.0);
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn ecdf_points_monotone() {
+        let e = Ecdf::new(vec![5.0, 1.0, 3.0]);
+        let pts: Vec<(f64, f64)> = e.points().collect();
+        assert_eq!(pts.len(), 3);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 2.5, 2.9, 9.9, -1.0, 10.0] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[2, 2, 0, 0, 1]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram bounds")]
+    fn histogram_rejects_bad_bounds() {
+        Histogram::new(5.0, 5.0, 3);
+    }
+}

@@ -1,0 +1,125 @@
+//! Window functions for spectral analysis and FIR design.
+
+use std::f64::consts::PI;
+
+/// Supported window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// All-ones window (no tapering).
+    Rectangular,
+    /// Hann (raised cosine) window.
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window (three-term).
+    Blackman,
+}
+
+impl Window {
+    /// Evaluates the window at position `n` of an `len`-point window.
+    ///
+    /// Uses the symmetric convention: `w(0) == w(len-1)`.
+    ///
+    /// # Panics
+    /// Panics if `n >= len`.
+    pub fn value(self, n: usize, len: usize) -> f64 {
+        assert!(n < len, "window index out of range");
+        if len == 1 {
+            return 1.0;
+        }
+        let x = n as f64 / (len - 1) as f64;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
+            Window::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
+            Window::Blackman => {
+                0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
+            }
+        }
+    }
+
+    /// Generates the full window as a vector.
+    pub fn generate(self, len: usize) -> Vec<f64> {
+        (0..len).map(|n| self.value(n, len)).collect()
+    }
+
+    /// Applies the window in place to real data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is zero.
+    pub fn apply(self, data: &mut [f64]) {
+        let len = data.len();
+        assert!(len > 0, "cannot window empty data");
+        for (n, d) in data.iter_mut().enumerate() {
+            *d *= self.value(n, len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_ones() {
+        assert_eq!(Window::Rectangular.generate(5), vec![1.0; 5]);
+    }
+
+    #[test]
+    fn hann_endpoints_zero_middle_one() {
+        let w = Window::Hann.generate(9);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[8].abs() < 1e-12);
+        assert!((w[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints() {
+        let w = Window::Hamming.generate(11);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[10] - 0.08).abs() < 1e-12);
+        assert!((w[5] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_nonnegative_and_peaked() {
+        let w = Window::Blackman.generate(33);
+        for &v in &w {
+            assert!(v >= -1e-12);
+        }
+        assert!((w[16] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for win in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let w = win.generate(16);
+            for i in 0..8 {
+                assert!(
+                    (w[i] - w[15 - i]).abs() < 1e-12,
+                    "{win:?} asymmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_window_is_one() {
+        for win in [
+            Window::Rectangular,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+        ] {
+            assert_eq!(win.value(0, 1), 1.0);
+        }
+    }
+
+    #[test]
+    fn apply_scales_in_place() {
+        let mut data = vec![2.0; 9];
+        Window::Hann.apply(&mut data);
+        assert!(data[0].abs() < 1e-12);
+        assert!((data[4] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,271 @@
+//! Channel model abstraction and compositions.
+//!
+//! A [`ChannelModel`] maps an absolute RF frequency to a complex amplitude
+//! response — everything between one transmit antenna's port and the
+//! sensor's antenna port. Experiments hold one model per transmit antenna.
+//!
+//! The crucial property for IVN is captured by [`BlindChannel`]: whatever
+//! physics produced the channel, each antenna's carrier arrives with an
+//! *unknown, uniformly distributed phase* (PLL start-up phase θᵢ plus
+//! propagation phase φᵢ — paper Eq. 5). All beamforming comparisons in the
+//! paper reduce to how algorithms behave under that uniform-phase ensemble.
+
+use crate::layered::LayeredPath;
+use crate::multipath::MultipathChannel;
+use ivn_dsp::complex::Complex64;
+use rand::Rng;
+use std::f64::consts::TAU;
+
+/// Complex frequency response of a propagation channel.
+pub trait ChannelModel {
+    /// Response at absolute frequency `freq_hz` (linear amplitude + phase).
+    fn response(&self, freq_hz: f64) -> Complex64;
+
+    /// Power attenuation (|H|²) at `freq_hz`.
+    fn power_gain(&self, freq_hz: f64) -> f64 {
+        self.response(freq_hz).norm_sqr()
+    }
+}
+
+impl ChannelModel for LayeredPath {
+    fn response(&self, freq_hz: f64) -> Complex64 {
+        LayeredPath::response(self, freq_hz)
+    }
+}
+
+impl ChannelModel for MultipathChannel {
+    fn response(&self, freq_hz: f64) -> Complex64 {
+        MultipathChannel::response(self, freq_hz)
+    }
+}
+
+/// A frequency-flat channel: fixed complex gain at every frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlatChannel {
+    /// The fixed response.
+    pub gain: Complex64,
+}
+
+impl FlatChannel {
+    /// Creates a flat channel with amplitude `amp` and a phase drawn
+    /// uniformly from `[0, 2π)` — the blind-channel primitive.
+    pub fn random_phase<R: Rng + ?Sized>(rng: &mut R, amp: f64) -> Self {
+        FlatChannel {
+            gain: Complex64::from_polar(amp, rng.random::<f64>() * TAU),
+        }
+    }
+
+    /// Creates a flat channel with an explicit gain.
+    pub fn new(gain: Complex64) -> Self {
+        FlatChannel { gain }
+    }
+}
+
+impl ChannelModel for FlatChannel {
+    fn response(&self, _freq_hz: f64) -> Complex64 {
+        self.gain
+    }
+}
+
+/// The blind in-vivo channel of the paper's Eq. 5: a deterministic
+/// amplitude (from physics) with a uniformly random phase β per antenna,
+/// *plus* an optional narrowband dispersion term so that very different
+/// frequencies decorrelate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlindChannel {
+    amplitude: f64,
+    beta: f64,
+    /// Extra group delay (s) applied to frequency offsets from the
+    /// reference, modelling electrical length.
+    group_delay_s: f64,
+    reference_hz: f64,
+}
+
+impl BlindChannel {
+    /// Draws a blind channel with the given deterministic amplitude,
+    /// random phase, and electrical delay relative to `reference_hz`.
+    pub fn draw<R: Rng + ?Sized>(
+        rng: &mut R,
+        amplitude: f64,
+        group_delay_s: f64,
+        reference_hz: f64,
+    ) -> Self {
+        BlindChannel {
+            amplitude,
+            beta: rng.random::<f64>() * TAU,
+            group_delay_s,
+            reference_hz,
+        }
+    }
+
+    /// The realized (hidden) phase — test-only knowledge a real system
+    /// never has.
+    pub fn hidden_phase(&self) -> f64 {
+        self.beta
+    }
+
+    /// The deterministic amplitude.
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+}
+
+impl ChannelModel for BlindChannel {
+    fn response(&self, freq_hz: f64) -> Complex64 {
+        let df = freq_hz - self.reference_hz;
+        Complex64::from_polar(self.amplitude, self.beta - TAU * df * self.group_delay_s)
+    }
+}
+
+/// Product composition: physics path × small-scale fading × anything else.
+pub struct ComposedChannel {
+    stages: Vec<Box<dyn ChannelModel + Send + Sync>>,
+}
+
+impl ComposedChannel {
+    /// Creates a composition; responses multiply in order.
+    pub fn new(stages: Vec<Box<dyn ChannelModel + Send + Sync>>) -> Self {
+        ComposedChannel { stages }
+    }
+}
+
+impl ChannelModel for ComposedChannel {
+    fn response(&self, freq_hz: f64) -> Complex64 {
+        self.stages
+            .iter()
+            .fold(Complex64::ONE, |acc, s| acc * s.response(freq_hz))
+    }
+}
+
+/// A set of per-transmit-antenna channels toward one receive point.
+pub struct ChannelEnsemble {
+    channels: Vec<Box<dyn ChannelModel + Send + Sync>>,
+}
+
+impl ChannelEnsemble {
+    /// Creates an ensemble from per-antenna channels.
+    pub fn new(channels: Vec<Box<dyn ChannelModel + Send + Sync>>) -> Self {
+        ChannelEnsemble { channels }
+    }
+
+    /// Draws `n` blind channels of equal amplitude — the canonical
+    /// Monte-Carlo ensemble of the paper's evaluation.
+    pub fn blind<R: Rng + ?Sized>(rng: &mut R, n: usize, amplitude: f64, reference_hz: f64) -> Self {
+        let channels = (0..n)
+            .map(|_| {
+                Box::new(BlindChannel::draw(rng, amplitude, 0.0, reference_hz))
+                    as Box<dyn ChannelModel + Send + Sync>
+            })
+            .collect();
+        ChannelEnsemble::new(channels)
+    }
+
+    /// Number of antennas.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Whether the ensemble is empty.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// Response of antenna `i` at `freq_hz`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn response(&self, i: usize, freq_hz: f64) -> Complex64 {
+        self.channels[i].response(freq_hz)
+    }
+
+    /// All responses at one frequency.
+    pub fn responses(&self, freq_hz: f64) -> Vec<Complex64> {
+        self.channels.iter().map(|c| c.response(freq_hz)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layered::single_medium_path;
+    use crate::medium::Medium;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flat_channel_is_flat() {
+        let ch = FlatChannel::new(Complex64::from_polar(0.5, 1.0));
+        assert_eq!(ch.response(900e6), ch.response(915e6));
+        assert!((ch.power_gain(915e6) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_phase_uniformity() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 10_000;
+        let mean: Complex64 = (0..n)
+            .map(|_| FlatChannel::random_phase(&mut rng, 1.0).gain)
+            .sum::<Complex64>()
+            / n as f64;
+        // Uniform phases average to ~0.
+        assert!(mean.norm() < 0.03, "mean phasor {}", mean.norm());
+    }
+
+    #[test]
+    fn blind_channel_amplitude_fixed_phase_random() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = BlindChannel::draw(&mut rng, 0.7, 0.0, 915e6);
+        let b = BlindChannel::draw(&mut rng, 0.7, 0.0, 915e6);
+        assert!((a.response(915e6).norm() - 0.7).abs() < 1e-12);
+        assert_ne!(a.hidden_phase(), b.hidden_phase());
+        // Flat over CIB's narrow span when no dispersion is configured.
+        assert!((a.response(915e6) - a.response(915e6 + 137.0)).norm() < 1e-12);
+        assert_eq!(a.amplitude(), 0.7);
+    }
+
+    #[test]
+    fn blind_channel_dispersion() {
+        let mut rng = StdRng::seed_from_u64(13);
+        // ~101 ns of group delay: a 137 Hz offset rotates by ~9e-5 rad —
+        // negligible; a 35 MHz offset rotates by several full turns plus a
+        // large fraction, i.e. an effectively independent phase.
+        let ch = BlindChannel::draw(&mut rng, 1.0, 1.01e-7, 915e6);
+        let near = (ch.response(915e6) - ch.response(915e6 + 137.0)).norm();
+        let far = (ch.response(915e6) - ch.response(880e6)).norm();
+        assert!(near < 1e-2);
+        assert!(far > 0.1);
+    }
+
+    #[test]
+    fn composed_multiplies() {
+        let a = FlatChannel::new(Complex64::from_real(0.5));
+        let b = FlatChannel::new(Complex64::from_polar(0.4, 1.0));
+        let comp = ComposedChannel::new(vec![Box::new(a), Box::new(b)]);
+        let h = comp.response(915e6);
+        assert!((h.norm() - 0.2).abs() < 1e-12);
+        assert!((h.arg() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layered_path_implements_trait() {
+        let path = single_medium_path(1.0, Medium::muscle(), 0.02);
+        let h = ChannelModel::response(&path, 915e6);
+        assert!(h.norm() > 0.0 && h.norm() < 1.0);
+        assert!((ChannelModel::power_gain(&path, 915e6) - h.norm_sqr()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ensemble_blind_draw() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let ens = ChannelEnsemble::blind(&mut rng, 8, 0.3, 915e6);
+        assert_eq!(ens.len(), 8);
+        assert!(!ens.is_empty());
+        let rs = ens.responses(915e6);
+        assert_eq!(rs.len(), 8);
+        for r in &rs {
+            assert!((r.norm() - 0.3).abs() < 1e-12);
+        }
+        // Phases differ across antennas.
+        assert!((rs[0].arg() - rs[1].arg()).abs() > 1e-6);
+    }
+}

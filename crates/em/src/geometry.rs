@@ -1,0 +1,158 @@
+//! Minimal 3D geometry for antenna and sensor placement.
+
+use serde::{Deserialize, Serialize};
+
+/// A point (or vector) in 3D space, metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point3 {
+    /// x coordinate (m).
+    pub x: f64,
+    /// y coordinate (m).
+    pub y: f64,
+    /// z coordinate (m).
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Origin.
+    pub const ORIGIN: Point3 = Point3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point3) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2) + (self.z - other.z).powi(2))
+            .sqrt()
+    }
+
+    /// Vector length.
+    pub fn norm(self) -> f64 {
+        self.distance(Point3::ORIGIN)
+    }
+
+    /// Component-wise addition.
+    pub fn add(self, other: Point3) -> Point3 {
+        Point3::new(self.x + other.x, self.y + other.y, self.z + other.z)
+    }
+
+    /// Component-wise subtraction (`self - other`).
+    pub fn sub(self, other: Point3) -> Point3 {
+        Point3::new(self.x - other.x, self.y - other.y, self.z - other.z)
+    }
+
+    /// Scales by a factor.
+    pub fn scale(self, k: f64) -> Point3 {
+        Point3::new(self.x * k, self.y * k, self.z * k)
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Point3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Unit vector in the same direction.
+    ///
+    /// # Panics
+    /// Panics on the zero vector.
+    pub fn normalized(self) -> Point3 {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize zero vector");
+        self.scale(1.0 / n)
+    }
+}
+
+/// Generates positions of a uniform linear array of `n` elements spaced
+/// `spacing` metres apart along the x axis, centred on `center`.
+pub fn linear_array(center: Point3, n: usize, spacing: f64) -> Vec<Point3> {
+    let offset = (n as f64 - 1.0) / 2.0;
+    (0..n)
+        .map(|i| Point3::new(center.x + (i as f64 - offset) * spacing, center.y, center.z))
+        .collect()
+}
+
+/// Generates positions on a circular arc of radius `radius` in the x-y
+/// plane around `center`, spanning `arc_radians` and facing the centre —
+/// the paper's antennas were "positioned 30–80 cm lateral ... in line with
+/// the coronal plane", i.e. spread around the subject.
+pub fn arc_array(center: Point3, n: usize, radius: f64, arc_radians: f64) -> Vec<Point3> {
+    assert!(n > 0, "array needs at least one element");
+    (0..n)
+        .map(|i| {
+            let theta = if n == 1 {
+                0.0
+            } else {
+                -arc_radians / 2.0 + arc_radians * i as f64 / (n as f64 - 1.0)
+            };
+            Point3::new(
+                center.x + radius * theta.cos(),
+                center.y + radius * theta.sin(),
+                center.z,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_345() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(3.0, 4.0, 0.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.norm(), 5.0);
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(4.0, 5.0, 6.0);
+        assert_eq!(a.add(b), Point3::new(5.0, 7.0, 9.0));
+        assert_eq!(b.sub(a), Point3::new(3.0, 3.0, 3.0));
+        assert_eq!(a.scale(2.0), Point3::new(2.0, 4.0, 6.0));
+        assert_eq!(a.dot(b), 32.0);
+    }
+
+    #[test]
+    fn normalized_is_unit() {
+        let v = Point3::new(0.0, 3.0, 4.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalize_zero_panics() {
+        Point3::ORIGIN.normalized();
+    }
+
+    #[test]
+    fn linear_array_centred_and_spaced() {
+        let a = linear_array(Point3::ORIGIN, 4, 0.2);
+        assert_eq!(a.len(), 4);
+        // Centre of mass at origin.
+        let cx: f64 = a.iter().map(|p| p.x).sum::<f64>() / 4.0;
+        assert!(cx.abs() < 1e-12);
+        // Neighbour spacing.
+        assert!((a[1].x - a[0].x - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arc_array_on_radius() {
+        let a = arc_array(Point3::ORIGIN, 5, 1.0, std::f64::consts::PI / 2.0);
+        assert_eq!(a.len(), 5);
+        for p in &a {
+            assert!((p.norm() - 1.0).abs() < 1e-12);
+        }
+        // Single element sits on the x axis.
+        let single = arc_array(Point3::ORIGIN, 1, 2.0, 1.0);
+        assert_eq!(single[0], Point3::new(2.0, 0.0, 0.0));
+    }
+}

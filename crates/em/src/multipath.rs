@@ -1,0 +1,280 @@
+//! Tap-delay-line multipath channels.
+//!
+//! Indoor reflections (and in-vivo reflections off organs, §3.1 of the
+//! paper) make the channel a superposition of paths with distinct delays
+//! and complex gains. Within CIB's narrow band (≤137 Hz spread) the channel
+//! is flat but *unknown*; across wider spans it becomes frequency
+//! selective. Both behaviours emerge from this model.
+
+use ivn_dsp::complex::Complex64;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// One propagation path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Path {
+    /// Absolute delay in seconds.
+    pub delay_s: f64,
+    /// Complex gain (amplitude and phase at zero frequency offset).
+    pub gain: Complex64,
+}
+
+/// A multipath channel as a sum of discrete paths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultipathChannel {
+    paths: Vec<Path>,
+}
+
+impl MultipathChannel {
+    /// Creates a channel from explicit paths.
+    ///
+    /// # Panics
+    /// Panics if no path is given or any delay is negative.
+    pub fn new(paths: Vec<Path>) -> Self {
+        assert!(!paths.is_empty(), "need at least one path");
+        assert!(
+            paths.iter().all(|p| p.delay_s >= 0.0),
+            "delays must be non-negative"
+        );
+        MultipathChannel { paths }
+    }
+
+    /// A single line-of-sight path.
+    pub fn line_of_sight(delay_s: f64, gain: Complex64) -> Self {
+        Self::new(vec![Path { delay_s, gain }])
+    }
+
+    /// Draws a Rayleigh channel: `n_paths` scatterers with an exponential
+    /// power-delay profile of RMS spread `rms_delay_s`, uniform phases, and
+    /// total average power `total_power`.
+    pub fn rayleigh<R: Rng + ?Sized>(
+        rng: &mut R,
+        n_paths: usize,
+        rms_delay_s: f64,
+        total_power: f64,
+    ) -> Self {
+        assert!(n_paths > 0, "need at least one path");
+        assert!(rms_delay_s > 0.0 && total_power >= 0.0);
+        let mut paths = Vec::with_capacity(n_paths);
+        let mut norm = 0.0;
+        let mut raw = Vec::with_capacity(n_paths);
+        for _ in 0..n_paths {
+            // Exponential delays.
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            let delay = -rms_delay_s * u.ln();
+            // Power follows the same exponential profile.
+            let p = (-delay / rms_delay_s).exp();
+            norm += p;
+            raw.push((delay, p));
+        }
+        for (delay, p) in raw {
+            let amp = (p / norm * total_power).sqrt();
+            let phase = rng.random::<f64>() * TAU;
+            paths.push(Path {
+                delay_s: delay,
+                gain: Complex64::from_polar(amp, phase),
+            });
+        }
+        MultipathChannel::new(paths)
+    }
+
+    /// Draws a Rician channel: a LoS path carrying `k_factor/(1+k)` of the
+    /// power plus a Rayleigh tail with the remainder.
+    pub fn rician<R: Rng + ?Sized>(
+        rng: &mut R,
+        k_factor: f64,
+        n_scatter: usize,
+        rms_delay_s: f64,
+        total_power: f64,
+        los_delay_s: f64,
+    ) -> Self {
+        assert!(k_factor >= 0.0);
+        let los_power = total_power * k_factor / (1.0 + k_factor);
+        let nlos_power = total_power - los_power;
+        let mut paths = vec![Path {
+            delay_s: los_delay_s,
+            gain: Complex64::from_polar(los_power.sqrt(), rng.random::<f64>() * TAU),
+        }];
+        if n_scatter > 0 && nlos_power > 0.0 {
+            let tail = Self::rayleigh(rng, n_scatter, rms_delay_s, nlos_power);
+            paths.extend(tail.paths.into_iter().map(|mut p| {
+                p.delay_s += los_delay_s;
+                p
+            }));
+        }
+        MultipathChannel::new(paths)
+    }
+
+    /// Paths in this channel.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Frequency response `H(f) = Σ g_i e^{-j2πf τ_i}` at absolute
+    /// frequency `freq_hz`.
+    pub fn response(&self, freq_hz: f64) -> Complex64 {
+        self.paths
+            .iter()
+            .map(|p| p.gain * Complex64::cis(-TAU * freq_hz * p.delay_s))
+            .sum()
+    }
+
+    /// Average (delay-integrated) channel power `Σ |g_i|²`.
+    pub fn mean_power(&self) -> f64 {
+        self.paths.iter().map(|p| p.gain.norm_sqr()).sum()
+    }
+
+    /// RMS delay spread στ, seconds.
+    pub fn rms_delay_spread(&self) -> f64 {
+        let total = self.mean_power();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mean_delay: f64 = self
+            .paths
+            .iter()
+            .map(|p| p.delay_s * p.gain.norm_sqr())
+            .sum::<f64>()
+            / total;
+        let second: f64 = self
+            .paths
+            .iter()
+            .map(|p| (p.delay_s - mean_delay).powi(2) * p.gain.norm_sqr())
+            .sum::<f64>()
+            / total;
+        second.sqrt()
+    }
+
+    /// Approximate coherence bandwidth `1/(5στ)` Hz (50 %-correlation rule
+    /// of thumb); infinite for a single path.
+    pub fn coherence_bandwidth(&self) -> f64 {
+        let s = self.rms_delay_spread();
+        if s == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (5.0 * s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn los_channel_flat_magnitude() {
+        let ch = MultipathChannel::line_of_sight(10e-9, Complex64::from_polar(0.5, 1.0));
+        for f in [900e6, 915e6, 930e6] {
+            assert!((ch.response(f).norm() - 0.5).abs() < 1e-12);
+        }
+        assert_eq!(ch.coherence_bandwidth(), f64::INFINITY);
+    }
+
+    #[test]
+    fn narrowband_flatness_within_cib_span() {
+        // Over 137 Hz, even a 100 ns-spread channel is essentially flat:
+        // this is why CIB's tones all see the same |H| (paper §3.7).
+        let mut rng = StdRng::seed_from_u64(1);
+        let ch = MultipathChannel::rayleigh(&mut rng, 8, 100e-9, 1.0);
+        let h1 = ch.response(915e6);
+        let h2 = ch.response(915e6 + 137.0);
+        assert!((h1 - h2).norm() / h1.norm().max(1e-12) < 1e-3);
+    }
+
+    #[test]
+    fn wideband_selectivity() {
+        // Across 35 MHz (the beamformer→reader spacing) the same channel
+        // decorrelates: the out-of-band reader sees a different channel.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut decorrelated = 0;
+        for _ in 0..50 {
+            let ch = MultipathChannel::rayleigh(&mut rng, 8, 100e-9, 1.0);
+            let h1 = ch.response(915e6);
+            let h2 = ch.response(880e6);
+            if (h1 - h2).norm() / h1.norm().max(1e-12) > 0.1 {
+                decorrelated += 1;
+            }
+        }
+        assert!(decorrelated > 35, "only {decorrelated}/50 decorrelated");
+    }
+
+    #[test]
+    fn rayleigh_power_normalization() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let ch = MultipathChannel::rayleigh(&mut rng, 10, 50e-9, 2.0);
+            assert!((ch.mean_power() - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rician_k_factor_split() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let k = 4.0;
+        let ch = MultipathChannel::rician(&mut rng, k, 6, 30e-9, 1.0, 5e-9);
+        assert!((ch.mean_power() - 1.0).abs() < 1e-9);
+        // LoS path is the first and carries k/(1+k) of power.
+        let los = ch.paths()[0].gain.norm_sqr();
+        assert!((los - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_los_rician() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ch = MultipathChannel::rician(&mut rng, 1e12, 4, 30e-9, 1.0, 0.0);
+        assert!((ch.paths()[0].gain.norm_sqr() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delay_spread_and_coherence() {
+        let ch = MultipathChannel::new(vec![
+            Path {
+                delay_s: 0.0,
+                gain: Complex64::from_real(1.0),
+            },
+            Path {
+                delay_s: 100e-9,
+                gain: Complex64::from_real(1.0),
+            },
+        ]);
+        // Equal powers at 0 and 100 ns → στ = 50 ns.
+        assert!((ch.rms_delay_spread() - 50e-9).abs() < 1e-15);
+        assert!((ch.coherence_bandwidth() - 4e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_path_fading_notch() {
+        // Equal paths with delay difference τ create nulls every 1/τ Hz.
+        let tau = 10e-9;
+        let ch = MultipathChannel::new(vec![
+            Path {
+                delay_s: 0.0,
+                gain: Complex64::from_real(1.0),
+            },
+            Path {
+                delay_s: tau,
+                gain: Complex64::from_real(1.0),
+            },
+        ]);
+        // At f = 1/(2τ) = 50 MHz the paths cancel.
+        assert!(ch.response(50e6).norm() < 1e-9);
+        // At f = 1/τ they add.
+        assert!((ch.response(100e6).norm() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = MultipathChannel::rayleigh(&mut StdRng::seed_from_u64(9), 5, 50e-9, 1.0);
+        let b = MultipathChannel::rayleigh(&mut StdRng::seed_from_u64(9), 5, 50e-9, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one path")]
+    fn rejects_empty() {
+        MultipathChannel::new(vec![]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Regulatory and exposure compliance checks.
+//!
+//! The paper argues (§7) that CIB's "intrinsic duty-cycled operation makes
+//! it FCC compliant and safe for human exposure": the envelope peaks at N×
+//! amplitude only for a vanishing fraction of each period, so the *average*
+//! radiated power stays at the per-antenna budget while the *peak* clears
+//! the harvester threshold. These helpers quantify that argument.
+
+use serde::{Deserialize, Serialize};
+
+/// FCC Part 15.247 limit for 902–928 MHz ISM: 30 dBm transmit power into a
+/// 6 dBi antenna, i.e. 36 dBm EIRP.
+pub const FCC_EIRP_LIMIT_DBM: f64 = 36.0;
+
+/// A transmit-side power budget under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TxBudget {
+    /// Conducted power per antenna, dBm.
+    pub per_antenna_dbm: f64,
+    /// Antenna gain, dBi.
+    pub antenna_gain_dbi: f64,
+    /// Number of transmit antennas.
+    pub n_antennas: usize,
+}
+
+impl TxBudget {
+    /// Per-antenna EIRP, dBm.
+    pub fn eirp_per_antenna_dbm(&self) -> f64 {
+        self.per_antenna_dbm + self.antenna_gain_dbi
+    }
+
+    /// Whether each individual transmitter respects the FCC EIRP limit.
+    ///
+    /// CIB transmitters are on *different* frequencies, so each is an
+    /// independent intentional radiator assessed on its own (unlike a
+    /// phased array, whose coherent sum is assessed as one emission).
+    pub fn per_antenna_compliant(&self) -> bool {
+        self.eirp_per_antenna_dbm() <= FCC_EIRP_LIMIT_DBM + 1e-9
+    }
+
+    /// Total average radiated power across the bank, watts. Incoherent
+    /// carriers add in average power regardless of phase.
+    pub fn total_average_watts(&self) -> f64 {
+        self.n_antennas as f64 * ivn_dsp::units::dbm_to_watts(self.eirp_per_antenna_dbm())
+    }
+}
+
+/// Duty factor of a CIB envelope: the fraction of each period where the
+/// envelope exceeds `threshold_fraction` of its peak.
+///
+/// `envelope` is one period of samples. A small duty factor is the paper's
+/// safety argument: the N² peak exists for only a sliver of time.
+pub fn peak_duty_factor(envelope: &[f64], threshold_fraction: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&threshold_fraction),
+        "threshold fraction must be in [0,1]"
+    );
+    if envelope.is_empty() {
+        return 0.0;
+    }
+    let peak = envelope.iter().cloned().fold(0.0, f64::max);
+    if peak <= 0.0 {
+        return 0.0;
+    }
+    let thr = peak * threshold_fraction;
+    envelope.iter().filter(|&&v| v >= thr).count() as f64 / envelope.len() as f64
+}
+
+/// Time-averaged power of an envelope (mean of squared amplitude),
+/// normalized to a single antenna's unit carrier. For an N-tone CIB
+/// envelope of unit amplitudes this is ≈ N — the same average power as N
+/// independent transmitters — even though the peak is N².
+pub fn average_power(envelope: &[f64]) -> f64 {
+    if envelope.is_empty() {
+        return 0.0;
+    }
+    envelope.iter().map(|v| v * v).sum::<f64>() / envelope.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivn_dsp::osc::MultiTone;
+
+    #[test]
+    fn budget_compliance() {
+        // The paper's prototype: 30 dBm PA into 7 dBi antenna = 37 dBm EIRP,
+        // 1 dB over the Part 15 limit (experimental license territory).
+        let paper = TxBudget {
+            per_antenna_dbm: 30.0,
+            antenna_gain_dbi: 7.0,
+            n_antennas: 8,
+        };
+        assert!(!paper.per_antenna_compliant());
+        let derated = TxBudget {
+            per_antenna_dbm: 29.0,
+            antenna_gain_dbi: 7.0,
+            n_antennas: 8,
+        };
+        assert!(derated.per_antenna_compliant());
+        assert!((derated.eirp_per_antenna_dbm() - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_average_adds_incoherently() {
+        let b = TxBudget {
+            per_antenna_dbm: 30.0,
+            antenna_gain_dbi: 0.0,
+            n_antennas: 10,
+        };
+        assert!((b.total_average_watts() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cib_peak_is_rare() {
+        // A 10-tone CIB envelope spends very little time near its peak.
+        let offsets = [0.0, 7.0, 20.0, 49.0, 68.0, 73.0, 90.0, 113.0, 121.0, 137.0];
+        let mt = MultiTone::from_freqs_phases(&offsets, &[0.0; 10]);
+        let env: Vec<f64> = (0..100_000)
+            .map(|k| mt.envelope(k as f64 / 100_000.0))
+            .collect();
+        let duty = peak_duty_factor(&env, 0.9);
+        assert!(duty < 0.01, "duty at 90% of peak: {duty}");
+    }
+
+    #[test]
+    fn cib_average_power_is_n_not_n_squared() {
+        let offsets = [0.0, 7.0, 20.0, 49.0, 68.0];
+        let mt = MultiTone::from_freqs_phases(&offsets, &[0.0; 5]);
+        let env: Vec<f64> = (0..50_000)
+            .map(|k| mt.envelope(k as f64 / 50_000.0))
+            .collect();
+        let avg = average_power(&env);
+        // Average power of N unit tones ≈ N (5), while the peak is N² (25).
+        assert!((avg - 5.0).abs() < 0.2, "avg power {avg}");
+        let peak: f64 = env.iter().map(|v| v * v).fold(0.0, f64::max);
+        assert!(peak > 24.0);
+    }
+
+    #[test]
+    fn duty_factor_edge_cases() {
+        assert_eq!(peak_duty_factor(&[], 0.5), 0.0);
+        assert_eq!(peak_duty_factor(&[0.0, 0.0], 0.5), 0.0);
+        assert_eq!(peak_duty_factor(&[1.0, 1.0], 0.5), 1.0);
+        assert_eq!(average_power(&[]), 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! RF→DC conversion efficiency.
+//!
+//! §2.3 of the paper: "the energy harvesting efficiency is highly
+//! sensitive to the signal amplitude". This module derives the efficiency
+//! curve from the threshold model: with carrier amplitude `Vs` and diode
+//! threshold `Vth`, the usable voltage is `Vs − Vth`, so the voltage-domain
+//! efficiency is `(Vs − Vth)/Vs` and the power-domain efficiency scales as
+//! its square (capped by a circuit ceiling). Zero below threshold — the
+//! fundamental cliff CIB exists to overcome.
+
+use serde::{Deserialize, Serialize};
+
+/// A threshold-limited efficiency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyModel {
+    /// Diode threshold voltage, volts.
+    pub vth: f64,
+    /// Peak achievable conversion efficiency (0–1) at very large drive.
+    pub eta_max: f64,
+}
+
+impl EfficiencyModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    /// Panics unless `vth ≥ 0` and `eta_max ∈ (0, 1]`.
+    pub fn new(vth: f64, eta_max: f64) -> Self {
+        assert!(vth >= 0.0, "threshold must be non-negative");
+        assert!(eta_max > 0.0 && eta_max <= 1.0, "eta_max must be in (0,1]");
+        EfficiencyModel { vth, eta_max }
+    }
+
+    /// A typical CMOS harvester: 250 mV threshold, 35 % ceiling.
+    pub fn typical_rfid() -> Self {
+        EfficiencyModel::new(0.25, 0.35)
+    }
+
+    /// Power conversion efficiency (0–1) at carrier amplitude `vs` volts:
+    /// `η = η_max · ((vs − vth)/vs)²` above threshold, 0 at or below.
+    pub fn efficiency(&self, vs: f64) -> f64 {
+        if vs <= self.vth || vs <= 0.0 {
+            return 0.0;
+        }
+        self.eta_max * ((vs - self.vth) / vs).powi(2)
+    }
+
+    /// Harvested DC power given instantaneous available RF power `p_in`
+    /// (watts) and the corresponding carrier amplitude `vs` (volts).
+    pub fn harvested_power(&self, p_in: f64, vs: f64) -> f64 {
+        assert!(p_in >= 0.0, "input power must be non-negative");
+        p_in * self.efficiency(vs)
+    }
+
+    /// Average harvested power over an envelope trace, where `vs_of[n]` is
+    /// the carrier amplitude and `p_of[n]` the available power at sample n.
+    pub fn mean_harvested(&self, vs_of: &[f64], p_of: &[f64]) -> f64 {
+        assert_eq!(vs_of.len(), p_of.len(), "trace length mismatch");
+        if vs_of.is_empty() {
+            return 0.0;
+        }
+        vs_of
+            .iter()
+            .zip(p_of)
+            .map(|(&vs, &p)| self.harvested_power(p, vs))
+            .sum::<f64>()
+            / vs_of.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_below_threshold() {
+        let m = EfficiencyModel::typical_rfid();
+        assert_eq!(m.efficiency(0.0), 0.0);
+        assert_eq!(m.efficiency(0.25), 0.0);
+        assert_eq!(m.efficiency(0.1), 0.0);
+    }
+
+    #[test]
+    fn rises_with_amplitude_toward_ceiling() {
+        let m = EfficiencyModel::typical_rfid();
+        let e1 = m.efficiency(0.3);
+        let e2 = m.efficiency(0.6);
+        let e3 = m.efficiency(10.0);
+        assert!(0.0 < e1 && e1 < e2 && e2 < e3);
+        assert!(e3 < 0.35 && e3 > 0.33);
+    }
+
+    #[test]
+    fn efficiency_cliff_is_steep() {
+        // 10 % above threshold vs 3× threshold: enormous efficiency gap —
+        // the quantitative version of the paper's Fig. 4 story.
+        let m = EfficiencyModel::typical_rfid();
+        let just_above = m.efficiency(0.275);
+        let well_above = m.efficiency(0.75);
+        assert!(well_above / just_above > 30.0);
+    }
+
+    #[test]
+    fn harvested_power_composes() {
+        let m = EfficiencyModel::new(0.25, 0.4);
+        let p = m.harvested_power(1e-3, 0.5);
+        assert!((p - 1e-3 * 0.4 * 0.25).abs() < 1e-12);
+        assert_eq!(m.harvested_power(1e-3, 0.1), 0.0);
+    }
+
+    #[test]
+    fn mean_harvested_over_trace() {
+        let m = EfficiencyModel::new(0.25, 1.0);
+        // Half the time below threshold, half at 0.5 V (η = 0.25).
+        let vs = [0.1, 0.5, 0.1, 0.5];
+        let p = [1.0, 1.0, 1.0, 1.0];
+        let mean = m.mean_harvested(&vs, &p);
+        assert!((mean - 0.125).abs() < 1e-12);
+        assert_eq!(m.mean_harvested(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn ideal_harvester_has_no_cliff() {
+        let m = EfficiencyModel::new(0.0, 1.0);
+        assert!((m.efficiency(0.001) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "eta_max")]
+    fn rejects_bad_ceiling() {
+        EfficiencyModel::new(0.25, 1.5);
+    }
+}

@@ -1,0 +1,171 @@
+//! Storage capacitor and duty-cycled operation.
+//!
+//! Marginal links harvest by *accumulating*: charge the storage capacitor
+//! during the CIB envelope peaks, then spend the energy on a short burst
+//! of sensing/backscatter (paper §2.3 and §3.7). This module tracks that
+//! energy ledger.
+
+use serde::{Deserialize, Serialize};
+
+/// A storage capacitor with leakage and a chip load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageCap {
+    /// Capacitance, farads.
+    pub capacitance: f64,
+    /// Parallel leakage resistance, ohms (`f64::INFINITY` for none).
+    pub r_leak: f64,
+}
+
+impl StorageCap {
+    /// Creates a storage capacitor.
+    ///
+    /// # Panics
+    /// Panics unless capacitance and leakage resistance are positive.
+    pub fn new(capacitance: f64, r_leak: f64) -> Self {
+        assert!(capacitance > 0.0, "capacitance must be positive");
+        assert!(r_leak > 0.0, "leakage resistance must be positive");
+        StorageCap {
+            capacitance,
+            r_leak,
+        }
+    }
+
+    /// Energy stored at voltage `v`: `½CV²`, joules.
+    pub fn energy(&self, v: f64) -> f64 {
+        0.5 * self.capacitance * v * v
+    }
+
+    /// Voltage for a stored energy, volts.
+    pub fn voltage(&self, energy: f64) -> f64 {
+        assert!(energy >= 0.0);
+        (2.0 * energy / self.capacitance).sqrt()
+    }
+
+    /// Advances the capacitor one step of `dt` seconds from voltage `v`,
+    /// receiving `p_in` watts of harvested power and supplying `i_load`
+    /// amps, including self-leakage. Returns the new voltage (≥ 0).
+    pub fn step(&self, v: f64, p_in: f64, i_load: f64, dt: f64) -> f64 {
+        assert!(dt > 0.0 && p_in >= 0.0 && i_load >= 0.0);
+        // Energy bookkeeping: in = p_in·dt; out = (v·i_load + v²/R)·dt.
+        let e = self.energy(v) + (p_in - v * i_load - v * v / self.r_leak) * dt;
+        self.voltage(e.max(0.0))
+    }
+}
+
+/// A duty-cycle plan: harvest for `harvest_s`, then operate drawing
+/// `active_power_w` for `active_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DutyCycle {
+    /// Harvesting window, seconds.
+    pub harvest_s: f64,
+    /// Active (sensing/transmitting) window, seconds.
+    pub active_s: f64,
+    /// Power drawn while active, watts.
+    pub active_power_w: f64,
+}
+
+impl DutyCycle {
+    /// Energy needed for one active burst, joules.
+    pub fn burst_energy(&self) -> f64 {
+        self.active_s * self.active_power_w
+    }
+
+    /// Minimum average harvested power (during the harvest window) that
+    /// sustains the cycle, watts.
+    pub fn required_harvest_power(&self) -> f64 {
+        self.burst_energy() / self.harvest_s
+    }
+
+    /// Whether an average harvested power sustains indefinite operation.
+    pub fn sustainable(&self, mean_harvest_w: f64) -> bool {
+        mean_harvest_w >= self.required_harvest_power()
+    }
+
+    /// How many harvest windows must pass before the first burst can fire,
+    /// assuming the capacitor starts empty. `None` if never (zero income).
+    pub fn windows_to_first_burst(&self, mean_harvest_w: f64) -> Option<u64> {
+        if mean_harvest_w <= 0.0 {
+            return None;
+        }
+        let per_window = mean_harvest_w * self.harvest_s;
+        // Small tolerance so exact integer ratios do not round up on
+        // floating-point dust.
+        let ratio = self.burst_energy() / per_window;
+        Some((ratio - 1e-9).ceil().max(1.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_voltage_roundtrip() {
+        let c = StorageCap::new(1e-6, f64::INFINITY);
+        let e = c.energy(3.0);
+        assert!((e - 4.5e-6).abs() < 1e-18);
+        assert!((c.voltage(e) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charging_raises_voltage() {
+        let c = StorageCap::new(1e-6, f64::INFINITY);
+        // 1 µW for 1 ms = 1 nJ into empty 1 µF → v = √(2e-9/1e-6) ≈ 45 mV.
+        let v = c.step(0.0, 1e-6, 0.0, 1e-3);
+        assert!((v - (2e-9f64 / 1e-6).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_decays_voltage() {
+        let c = StorageCap::new(1e-6, 1e6); // τ = RC = 1 s
+        let mut v = 1.0;
+        for _ in 0..1000 {
+            v = c.step(v, 0.0, 0.0, 1e-3); // 1 s total
+        }
+        // Energy obeys dE/dt = −V²/R = −2E/(RC), so E decays with RC/2 and
+        // voltage as e^{−t/RC}: after t = RC = 1 s, v = e⁻¹ ≈ 0.368.
+        assert!((v - (-1.0f64).exp()).abs() < 0.01, "v after τ: {v}");
+    }
+
+    #[test]
+    fn load_drains() {
+        let c = StorageCap::new(1e-6, f64::INFINITY);
+        let v = c.step(1.0, 0.0, 1e-6, 0.1);
+        // ΔE = v·i·t = 1·1e-6·0.1 = 1e-7 J from E₀ = 5e-7 → E = 4e-7 →
+        // v = √(0.8) ≈ 0.894.
+        assert!((v - 0.8f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_floors_at_zero() {
+        let c = StorageCap::new(1e-9, f64::INFINITY);
+        let v = c.step(0.01, 0.0, 1.0, 1.0);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn duty_cycle_budget() {
+        let d = DutyCycle {
+            harvest_s: 0.99,
+            active_s: 0.01,
+            active_power_w: 10e-6,
+        };
+        assert!((d.burst_energy() - 1e-7).abs() < 1e-18);
+        let req = d.required_harvest_power();
+        assert!((req - 1.0101e-7).abs() < 1e-10);
+        assert!(d.sustainable(2e-7));
+        assert!(!d.sustainable(0.5e-7));
+    }
+
+    #[test]
+    fn windows_to_first_burst() {
+        let d = DutyCycle {
+            harvest_s: 1.0,
+            active_s: 0.01,
+            active_power_w: 1e-3, // burst needs 10 µJ
+        };
+        assert_eq!(d.windows_to_first_burst(2e-6), Some(5)); // 2 µJ/window
+        assert_eq!(d.windows_to_first_burst(20e-6), Some(1));
+        assert_eq!(d.windows_to_first_burst(0.0), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the energy-harvesting circuit models.
+
+use ivn_harvester::conduction::{conduction_angle, conduction_duty, cycle_average_current};
+use ivn_harvester::diode::DiodeModel;
+use ivn_harvester::efficiency::EfficiencyModel;
+use ivn_harvester::powerup::TagPowerProfile;
+use ivn_harvester::rectifier::Rectifier;
+use ivn_harvester::storage::StorageCap;
+use proptest::prelude::*;
+
+fn diode() -> impl Strategy<Value = DiodeModel> {
+    prop_oneof![
+        Just(DiodeModel::Ideal),
+        (0.05f64..0.5, 1.0f64..200.0)
+            .prop_map(|(vth, r_on)| DiodeModel::Threshold { vth, r_on }),
+        (1e-12f64..1e-6, 1.0f64..2.0)
+            .prop_map(|(i_sat, ideality)| DiodeModel::Shockley { i_sat, ideality }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn diode_current_monotone(d in diode(), v1 in -1.0f64..2.0, dv in 0.0f64..2.0) {
+        prop_assert!(d.current(v1 + dv) >= d.current(v1) - 1e-15);
+    }
+
+    #[test]
+    fn diode_blocks_reverse(d in diode(), v in 0.0f64..2.0) {
+        prop_assert!(d.current(-v) <= 1e-12);
+    }
+
+    #[test]
+    fn conduction_angle_bounds(vs in 0.0f64..10.0, vth in 0.0f64..0.5) {
+        let w = conduction_angle(vs, vth);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&w));
+        let duty = conduction_duty(vs, vth);
+        prop_assert!((0.0..=0.5 + 1e-12).contains(&duty));
+        if vs <= vth {
+            prop_assert_eq!(w, 0.0);
+        }
+    }
+
+    #[test]
+    fn conduction_angle_monotone_in_drive(vth in 0.01f64..0.5,
+                                          vs in 0.0f64..5.0, dv in 0.0f64..5.0) {
+        prop_assert!(conduction_angle(vs + dv, vth) >= conduction_angle(vs, vth));
+    }
+
+    #[test]
+    fn cycle_current_nonnegative_monotone(d in diode(), vs in 0.0f64..3.0, dv in 0.0f64..3.0) {
+        let i1 = cycle_average_current(&d, vs);
+        let i2 = cycle_average_current(&d, vs + dv);
+        prop_assert!(i1 >= 0.0);
+        prop_assert!(i2 >= i1 - 1e-12);
+    }
+
+    #[test]
+    fn rectifier_output_nonnegative_and_linear_above_threshold(
+        stages in 1usize..8, vs in 0.0f64..3.0,
+    ) {
+        let r = Rectifier::new(stages, DiodeModel::typical_rfid(), 1000.0);
+        let v = r.steady_state_vdc(vs);
+        prop_assert!(v >= 0.0);
+        if vs > 0.25 {
+            prop_assert!((v - stages as f64 * (vs - 0.25)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rectifier_transient_never_exceeds_target(vs in 0.3f64..2.0, steps in 1usize..2000) {
+        let r = Rectifier::new(3, DiodeModel::typical_rfid(), 1000.0);
+        let env = vec![vs; steps];
+        let trace = r.simulate(&env, 1e6, 0.0, 1e-9, 0.0);
+        let target = r.steady_state_vdc(vs);
+        for v in trace {
+            prop_assert!(v <= target + 1e-9);
+        }
+    }
+
+    #[test]
+    fn efficiency_in_unit_range_monotone(vth in 0.05f64..0.4, eta in 0.05f64..1.0,
+                                         vs in 0.0f64..5.0, dv in 0.0f64..5.0) {
+        let m = EfficiencyModel::new(vth, eta);
+        let e1 = m.efficiency(vs);
+        let e2 = m.efficiency(vs + dv);
+        prop_assert!((0.0..=eta + 1e-12).contains(&e1));
+        prop_assert!(e2 >= e1 - 1e-12);
+    }
+
+    #[test]
+    fn storage_energy_conserved_without_flows(c in 1e-9f64..1e-5, v in 0.0f64..5.0,
+                                              dt in 1e-6f64..1.0) {
+        let cap = StorageCap::new(c, f64::INFINITY);
+        let v2 = cap.step(v, 0.0, 0.0, dt);
+        prop_assert!((v2 - v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_charging_monotone(c in 1e-9f64..1e-6, p in 0.0f64..1e-3,
+                                 extra in 0.0f64..1e-3, dt in 1e-6f64..0.01) {
+        let cap = StorageCap::new(c, f64::INFINITY);
+        let v1 = cap.step(0.1, p, 0.0, dt);
+        let v2 = cap.step(0.1, p + extra, 0.0, dt);
+        prop_assert!(v2 >= v1 - 1e-12);
+    }
+
+    #[test]
+    fn powerup_requires_threshold(p_dbm in -40.0f64..20.0) {
+        // The analytic gate is consistent: below static sensitivity the
+        // chip can never wake regardless of exposure duration.
+        let tag = TagPowerProfile::standard_tag();
+        let p = ivn_dsp::units::dbm_to_watts(p_dbm);
+        if p < tag.static_sensitivity_watts() {
+            prop_assert!(!tag.can_power_at_peak(p));
+            let env = vec![p; 10_000];
+            prop_assert!(!tag.power_up(&env, 1e5).powered);
+        }
+    }
+
+    #[test]
+    fn time_to_power_decreases_with_power(p1_dbm in -8.0f64..10.0, extra_db in 0.1f64..20.0) {
+        let tag = TagPowerProfile::standard_tag();
+        let p1 = ivn_dsp::units::dbm_to_watts(p1_dbm);
+        let p2 = ivn_dsp::units::dbm_to_watts(p1_dbm + extra_db);
+        let out1 = tag.power_up(&vec![p1; 50_000], 1e6);
+        let out2 = tag.power_up(&vec![p2; 50_000], 1e6);
+        if let (Some(t1), Some(t2)) = (out1.time_to_power_s, out2.time_to_power_s) {
+            prop_assert!(t2 <= t1 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Gen2 CRC-5 and CRC-16.
+//!
+//! * CRC-5: polynomial x⁵+x³+1 (0x09), preset `0b01001`, protects Query.
+//! * CRC-16: CCITT polynomial x¹⁶+x¹²+x⁵+1 (0x1021), preset `0xFFFF`,
+//!   final complement, protects EPC/PC words and ReqRN.
+//!
+//! Both operate MSB-first on bit slices, matching the over-the-air order.
+
+/// Computes the Gen2 CRC-5 of a bit sequence (MSB first).
+pub fn crc5(bits: &[bool]) -> u8 {
+    let mut reg: u8 = 0b01001;
+    for &bit in bits {
+        let msb = (reg >> 4) & 1 == 1;
+        reg = (reg << 1) & 0x1F;
+        if msb != bit {
+            // XOR with poly 0x09 after shifting out the MSB: taps at x³, x⁰.
+            reg ^= 0x09;
+        }
+    }
+    reg & 0x1F
+}
+
+/// Appends the 5 CRC bits (MSB first) to a command body.
+pub fn append_crc5(bits: &mut Vec<bool>) {
+    let c = crc5(bits);
+    for i in (0..5).rev() {
+        bits.push((c >> i) & 1 == 1);
+    }
+}
+
+/// Verifies a sequence whose last 5 bits are its CRC-5.
+pub fn check_crc5(bits: &[bool]) -> bool {
+    if bits.len() < 5 {
+        return false;
+    }
+    let (body, tail) = bits.split_at(bits.len() - 5);
+    let c = crc5(body);
+    tail.iter()
+        .enumerate()
+        .all(|(i, &b)| ((c >> (4 - i)) & 1 == 1) == b)
+}
+
+/// Computes the Gen2 CRC-16 (CCITT, preset 0xFFFF, complemented output)
+/// of a bit sequence (MSB first).
+pub fn crc16(bits: &[bool]) -> u16 {
+    let mut reg: u16 = 0xFFFF;
+    for &bit in bits {
+        let msb = (reg >> 15) & 1 == 1;
+        reg <<= 1;
+        if msb != bit {
+            reg ^= 0x1021;
+        }
+    }
+    !reg
+}
+
+/// Appends the 16 CRC bits (MSB first).
+pub fn append_crc16(bits: &mut Vec<bool>) {
+    let c = crc16(bits);
+    for i in (0..16).rev() {
+        bits.push((c >> i) & 1 == 1);
+    }
+}
+
+/// Verifies a sequence whose last 16 bits are its CRC-16.
+pub fn check_crc16(bits: &[bool]) -> bool {
+    if bits.len() < 16 {
+        return false;
+    }
+    let (body, tail) = bits.split_at(bits.len() - 16);
+    let c = crc16(body);
+    tail.iter()
+        .enumerate()
+        .all(|(i, &b)| ((c >> (15 - i)) & 1 == 1) == b)
+}
+
+/// Converts a `u16` into 16 bits, MSB first. Convenience for EPC words.
+pub fn u16_to_bits(v: u16) -> Vec<bool> {
+    (0..16).rev().map(|i| (v >> i) & 1 == 1).collect()
+}
+
+/// Converts up to 64 bits (MSB first) into a `u64`.
+///
+/// # Panics
+/// Panics if more than 64 bits are given.
+pub fn bits_to_u64(bits: &[bool]) -> u64 {
+    assert!(bits.len() <= 64, "too many bits for u64");
+    bits.iter().fold(0u64, |acc, &b| (acc << 1) | b as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits_of(v: u64, n: usize) -> Vec<bool> {
+        (0..n).rev().map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn crc5_roundtrip_random_bodies() {
+        for seed in 0..50u64 {
+            let body = bits_of(seed.wrapping_mul(0x9E3779B97F4A7C15), 17);
+            let mut framed = body.clone();
+            append_crc5(&mut framed);
+            assert_eq!(framed.len(), 22);
+            assert!(check_crc5(&framed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn crc5_detects_single_bit_errors() {
+        let body = bits_of(0b10110100111010010, 17);
+        let mut framed = body;
+        append_crc5(&mut framed);
+        for i in 0..framed.len() {
+            let mut corrupted = framed.clone();
+            corrupted[i] = !corrupted[i];
+            assert!(!check_crc5(&corrupted), "missed flip at {i}");
+        }
+    }
+
+    #[test]
+    fn crc5_short_input_rejected() {
+        assert!(!check_crc5(&[true, false]));
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE of ASCII "123456789" is 0x29B1; Gen2 inverts.
+        let bytes = b"123456789";
+        let bits: Vec<bool> = bytes
+            .iter()
+            .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
+            .collect();
+        assert_eq!(crc16(&bits), !0x29B1);
+    }
+
+    #[test]
+    fn crc16_roundtrip_and_error_detection() {
+        let body = bits_of(0xDEADBEEFCAFE, 48);
+        let mut framed = body;
+        append_crc16(&mut framed);
+        assert!(check_crc16(&framed));
+        for i in (0..framed.len()).step_by(7) {
+            let mut corrupted = framed.clone();
+            corrupted[i] = !corrupted[i];
+            assert!(!check_crc16(&corrupted), "missed flip at {i}");
+        }
+        // Double-bit errors too (CCITT catches all 2-bit errors).
+        let mut c2 = framed.clone();
+        c2[3] = !c2[3];
+        c2[40] = !c2[40];
+        assert!(!check_crc16(&c2));
+    }
+
+    #[test]
+    fn bit_conversions() {
+        let bits = u16_to_bits(0xA5C3);
+        assert_eq!(bits.len(), 16);
+        assert_eq!(bits_to_u64(&bits), 0xA5C3);
+        assert_eq!(bits_to_u64(&[]), 0);
+        assert_eq!(bits_to_u64(&[true, false, true]), 5);
+    }
+}

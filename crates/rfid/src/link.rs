@@ -1,0 +1,181 @@
+//! Link-timing budget (Gen2 Annex-style).
+//!
+//! Derives backscatter link frequency (BLF) from TRcal and the divide
+//! ratio, the T1–T4 turnaround windows, and on-air durations. The headline
+//! number for IVN: a full Query frame at the paper's settings lasts about
+//! **800 µs**, which through Eq. 9 caps the RMS frequency offset of the
+//! CIB plan at ≈199 Hz.
+
+use crate::commands::{Command, DivideRatio};
+use crate::pie::PieParams;
+use serde::{Deserialize, Serialize};
+
+/// Complete link parameter set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Downlink PIE timing.
+    pub pie: PieParams,
+    /// Divide ratio from Query.
+    pub dr: DivideRatio,
+    /// Miller M (1 for FM0) — scales uplink symbol duration.
+    pub miller_m: usize,
+}
+
+impl LinkParams {
+    /// The paper's configuration: Tari 12.5 µs, DR 8, FM0.
+    pub fn paper_defaults() -> Self {
+        LinkParams {
+            pie: PieParams::paper_defaults(),
+            dr: DivideRatio::Dr8,
+            miller_m: 1,
+        }
+    }
+
+    /// Backscatter link frequency `BLF = DR / TRcal`, Hz.
+    pub fn blf_hz(&self) -> f64 {
+        self.dr.value() / self.pie.trcal_s
+    }
+
+    /// Uplink symbol duration (FM0 symbol or Miller symbol), seconds.
+    pub fn uplink_symbol_s(&self) -> f64 {
+        self.miller_m as f64 / self.blf_hz()
+    }
+
+    /// T1: reader-transmission end → tag-response start,
+    /// nominally `max(RTcal, 10/BLF)`.
+    pub fn t1_s(&self) -> f64 {
+        (self.pie.rtcal_s()).max(10.0 / self.blf_hz())
+    }
+
+    /// T2: tag-response end → next reader command, 3–20 uplink symbols;
+    /// we use the midpoint 10.
+    pub fn t2_s(&self) -> f64 {
+        10.0 / self.blf_hz()
+    }
+
+    /// On-air duration of a command frame, preamble included.
+    pub fn command_duration_s(&self, cmd: &Command) -> f64 {
+        let (zeros, ones) = cmd.bit_census();
+        self.pie.frame_duration_s(zeros, ones, cmd.needs_trcal())
+    }
+
+    /// Duration of an uplink message of `n_bits` (preamble included when
+    /// `preamble_bits > 0`), seconds.
+    pub fn uplink_duration_s(&self, n_bits: usize, preamble_bits: usize) -> f64 {
+        (n_bits + preamble_bits) as f64 * self.uplink_symbol_s()
+    }
+
+    /// Duration of one complete single-tag inventory exchange:
+    /// Query + T1 + RN16 + T2 + ACK + T1 + EPC + T2.
+    pub fn inventory_exchange_s(&self, query: &Command, epc_bits: usize) -> f64 {
+        let preamble = 12; // the paper's extended preamble length
+        self.command_duration_s(query)
+            + self.t1_s()
+            + self.uplink_duration_s(16, preamble)
+            + self.t2_s()
+            + self.command_duration_s(&Command::Ack { rn16: 0 })
+            + self.t1_s()
+            + self.uplink_duration_s(epc_bits + 16 + 16, preamble) // PC+EPC+CRC
+            + self.t2_s()
+    }
+
+    /// The paper's Eq. 9 bound: given a command duration Δt and a
+    /// permitted envelope fluctuation α, the RMS of the CIB frequency
+    /// offsets must satisfy `rms(Δf) ≤ √(α / (2π²Δt²))`, Hz.
+    pub fn max_rms_offset_hz(&self, alpha: f64, cmd: &Command) -> f64 {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        let dt = self.command_duration_s(cmd);
+        (alpha / (2.0 * std::f64::consts::PI.powi(2) * dt * dt)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::{Session, TagEncoding};
+
+    fn query() -> Command {
+        Command::Query {
+            dr: DivideRatio::Dr8,
+            m: TagEncoding::Fm0,
+            trext: false,
+            session: Session::S0,
+            q: 0,
+        }
+    }
+
+    #[test]
+    fn blf_from_trcal() {
+        let lp = LinkParams::paper_defaults();
+        // DR 8 / 133.3 µs ≈ 60 kHz.
+        assert!((lp.blf_hz() - 60e3).abs() < 1e3);
+    }
+
+    #[test]
+    fn query_duration_near_800us() {
+        // The paper uses Δt ≈ 800 µs for a typical reader query (§3.6).
+        let lp = LinkParams::paper_defaults();
+        let d = lp.command_duration_s(&query());
+        assert!(d > 6.5e-4 && d < 1.1e-3, "query duration {d}");
+    }
+
+    #[test]
+    fn eq9_bound_near_199hz() {
+        // §3.6: with Δt ≈ 800 µs and α = 0.5, rms(Δf) ≤ 199 Hz. Our Query
+        // duration differs slightly from exactly 800 µs, so check the
+        // bound at exactly Δt = 800 µs via a synthetic check, then confirm
+        // the API value is in the same regime.
+        let alpha = 0.5f64;
+        let dt = 800e-6f64;
+        let bound = (alpha / (2.0 * std::f64::consts::PI.powi(2) * dt * dt)).sqrt();
+        assert!((bound - 199.0).abs() < 1.5, "analytic bound {bound}");
+
+        let lp = LinkParams::paper_defaults();
+        let api = lp.max_rms_offset_hz(0.5, &query());
+        assert!(api > 120.0 && api < 260.0, "api bound {api}");
+        // The paper's actual frequency plan must satisfy the API bound:
+        // RMS of {0,7,20,49,68,73,90,113,121,137} over N = 10 ≈ 82 Hz.
+        let paper: [f64; 10] = [0., 7., 20., 49., 68., 73., 90., 113., 121., 137.];
+        let rms = (paper.iter().map(|f| f * f).sum::<f64>() / 10.0).sqrt();
+        assert!(rms < api, "paper plan rms {rms} vs bound {api}");
+    }
+
+    #[test]
+    fn t1_covers_rtcal() {
+        let lp = LinkParams::paper_defaults();
+        assert!(lp.t1_s() >= lp.pie.rtcal_s());
+        assert!(lp.t2_s() > 0.0);
+    }
+
+    #[test]
+    fn uplink_durations() {
+        let lp = LinkParams::paper_defaults();
+        let rn16 = lp.uplink_duration_s(16, 12);
+        // 28 symbols at ~120 kHz ≈ 233 µs.
+        assert!((rn16 - 28.0 / lp.blf_hz()).abs() < 1e-12);
+        // Miller-4 quadruples symbol time.
+        let m4 = LinkParams {
+            miller_m: 4,
+            ..lp
+        };
+        assert!((m4.uplink_duration_s(16, 12) / rn16 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_exchange_under_cib_period() {
+        // The whole single-tag exchange must fit well inside the 1 s CIB
+        // cycle (it needs to complete near the envelope peak).
+        let lp = LinkParams::paper_defaults();
+        let total = lp.inventory_exchange_s(&query(), 96);
+        assert!(total < 5e-3, "exchange {total}");
+    }
+
+    #[test]
+    fn tighter_alpha_means_tighter_rms() {
+        let lp = LinkParams::paper_defaults();
+        let loose = lp.max_rms_offset_hz(0.5, &query());
+        let tight = lp.max_rms_offset_hz(0.1, &query());
+        assert!(tight < loose);
+        assert!((loose / tight - 5f64.sqrt()).abs() < 1e-9);
+    }
+}

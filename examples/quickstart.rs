@@ -1,0 +1,48 @@
+//! Quickstart: power up and read a battery-free sensor 10 cm deep in
+//! fluid — the thing no single-antenna reader can do.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ivn::core::body::{Placement, TagSpec};
+use ivn::core::system::{IvnSystem, SystemConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xC1B);
+
+    // The sensor: a standard battery-free UHF tag, 10 cm deep in a water
+    // tank whose face is 90 cm from the antennas (the paper's Fig. 7 rig).
+    let placement = Placement::water_tank(0.10);
+
+    println!("IVN quickstart — sensor at 10 cm depth in fluid\n");
+
+    // First, what a conventional single-antenna reader achieves:
+    let single = IvnSystem::new(SystemConfig::paper_prototype(1, TagSpec::standard()));
+    let outcome = single.run_session(&mut rng, &placement);
+    println!(
+        "single antenna : powered={}  (peak {:.1} µW at the tag — below the wake-up threshold)",
+        outcome.powered,
+        outcome.peak_power_w * 1e6
+    );
+
+    // Now the 8-antenna CIB beamformer — same per-antenna power budget,
+    // no channel knowledge:
+    let ivn = IvnSystem::new(SystemConfig::paper_prototype(8, TagSpec::standard()));
+    let outcome = ivn.run_session(&mut rng, &placement);
+    println!(
+        "8-antenna CIB  : powered={}  command={}  RN16={}  (corr {:.2}, peak {:.1} µW)",
+        outcome.powered,
+        outcome.command_decoded,
+        outcome.rn16_decoded,
+        outcome.correlation,
+        outcome.peak_power_w * 1e6
+    );
+    assert!(outcome.success(), "expected the CIB session to succeed");
+
+    // How deep can it go? (paper: 23 cm for this tag at 8 antennas)
+    let max_depth = ivn.max_depth_water(&mut rng, 0.5, 2);
+    println!("\nmaximum working depth with 8 antennas: {:.1} cm", max_depth * 100.0);
+}

@@ -1,0 +1,29 @@
+//! Long-range RFID: the paper's "implications beyond miniature
+//! implantables" (§1) — CIB powers off-the-shelf passive RFIDs at 38 m,
+//! 7.6× their native range, with implications for inventory and
+//! localization systems.
+//!
+//! ```sh
+//! cargo run --release --example rfid_long_range
+//! ```
+
+use ivn::core::body::TagSpec;
+use ivn::core::system::{IvnSystem, SystemConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("Line-of-sight range of an off-the-shelf passive RFID vs antennas\n");
+    println!("{:>9}  {:>12}  {:>12}", "antennas", "range (m)", "gain");
+    let mut base = 0.0;
+    for n in 1..=8 {
+        let sys = IvnSystem::new(SystemConfig::paper_prototype(n, TagSpec::standard()));
+        let mut rng = StdRng::seed_from_u64(38 + n as u64);
+        let r = sys.max_range_air(&mut rng, 0.5, 80.0, 2);
+        if n == 1 {
+            base = r;
+        }
+        println!("{n:>9}  {r:>12.1}  {:>11.1}×", r / base.max(1e-9));
+    }
+    println!("\npaper: 5.2 m with one antenna → 38 m with eight (7.6×).");
+}

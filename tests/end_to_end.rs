@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: the full IVN stack exercised through
+//! the facade crate, asserting the paper's headline behaviours.
+
+use ivn::core::body::{Placement, TagSpec};
+use ivn::core::system::{IvnSystem, SystemConfig};
+use ivn::em::medium::Medium;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn water_depth_grows_with_antennas() {
+    let mut depths = Vec::new();
+    for n in [2usize, 4, 8] {
+        let sys = IvnSystem::new(SystemConfig::paper_prototype(n, TagSpec::standard()));
+        let mut rng = StdRng::seed_from_u64(100 + n as u64);
+        depths.push(sys.max_depth_water(&mut rng, 0.5, 1));
+    }
+    assert!(
+        depths[0] < depths[1] && depths[1] < depths[2],
+        "depths not monotone: {depths:?}"
+    );
+    // 8 antennas reach ~20 cm (paper: 23 cm).
+    assert!(depths[2] > 0.15 && depths[2] < 0.30, "{depths:?}");
+}
+
+#[test]
+fn miniature_tag_reaches_11cm_class_depths() {
+    let sys = IvnSystem::new(SystemConfig::paper_prototype(8, TagSpec::miniature()));
+    let mut rng = StdRng::seed_from_u64(11);
+    let depth = sys.max_depth_water(&mut rng, 0.3, 1);
+    // Paper: 11 cm for the millimetre tag at 8 antennas.
+    assert!(depth > 0.06 && depth < 0.16, "mini depth {depth}");
+}
+
+#[test]
+fn miniature_tag_cannot_power_without_cib() {
+    let sys = IvnSystem::new(SystemConfig::paper_prototype(1, TagSpec::miniature()));
+    let mut rng = StdRng::seed_from_u64(12);
+    // Even at the tank face the mini tag is dead with one antenna (§6.1.2).
+    let out = sys.run_session(&mut rng, &Placement::water_tank(0.001));
+    assert!(!out.powered);
+}
+
+#[test]
+fn air_range_ratio_matches_paper_factor() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let sys1 = IvnSystem::new(SystemConfig::paper_prototype(1, TagSpec::standard()));
+    let sys8 = IvnSystem::new(SystemConfig::paper_prototype(8, TagSpec::standard()));
+    let r1 = sys1.max_range_air(&mut rng, 0.5, 80.0, 1);
+    let r8 = sys8.max_range_air(&mut rng, 0.5, 80.0, 1);
+    // Paper: 5.2 m → 38 m, a 7.6× factor. Accept 5×–9×.
+    let factor = r8 / r1;
+    assert!((4.0..6.5).contains(&r1), "single-antenna range {r1}");
+    assert!((5.0..9.0).contains(&factor), "factor {factor} (r8 {r8})");
+}
+
+#[test]
+fn deep_tissue_session_through_layered_body() {
+    // A full session through the swine subcutaneous stack must succeed
+    // with 8 antennas for both tags.
+    for tag in [TagSpec::standard(), TagSpec::miniature()] {
+        let name = tag.power.name.clone();
+        let sys = IvnSystem::new(SystemConfig::paper_prototype(8, tag));
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut ok = 0;
+        for _ in 0..6 {
+            if sys
+                .run_session(&mut rng, &Placement::swine_subcutaneous())
+                .success()
+            {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 5, "{name}: only {ok}/6 subcutaneous sessions");
+    }
+}
+
+#[test]
+fn gastric_standard_tag_succeeds_about_half_the_time() {
+    let sys = IvnSystem::new(SystemConfig::paper_prototype(8, TagSpec::standard()));
+    let mut rng = StdRng::seed_from_u64(15);
+    let trials = 30;
+    let ok = (0..trials)
+        .filter(|_| sys.run_session(&mut rng, &Placement::swine_gastric()).success())
+        .count();
+    // Paper: half of six trials. Accept 20–80 % over a larger sample.
+    let rate = ok as f64 / trials as f64;
+    assert!((0.2..0.8).contains(&rate), "gastric success rate {rate}");
+}
+
+#[test]
+fn gastric_miniature_tag_never_powers() {
+    let sys = IvnSystem::new(SystemConfig::paper_prototype(8, TagSpec::miniature()));
+    let mut rng = StdRng::seed_from_u64(16);
+    for _ in 0..10 {
+        let out = sys.run_session(&mut rng, &Placement::swine_gastric());
+        assert!(!out.success(), "mini tag should not work in the stomach");
+    }
+}
+
+#[test]
+fn media_box_sessions_work_in_all_figure11_media() {
+    // At a modest 2 cm depth with 8 antennas, CIB establishes a session
+    // in every evaluation medium.
+    for medium in Medium::figure11_media() {
+        if medium.name == "air" {
+            continue; // media_box with air is just free space
+        }
+        let name = medium.name.clone();
+        let sys = IvnSystem::new(SystemConfig::paper_prototype(8, TagSpec::standard()));
+        let mut rng = StdRng::seed_from_u64(17);
+        let placement = Placement::media_box(medium, 0.02);
+        let mut ok = 0;
+        for _ in 0..3 {
+            if sys.run_session(&mut rng, &placement).success() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 2, "{name}: {ok}/3 sessions");
+    }
+}
+
+#[test]
+fn outcome_stages_are_ordered() {
+    // A failed power-up implies no command decode and no RN16.
+    let sys = IvnSystem::new(SystemConfig::paper_prototype(2, TagSpec::standard()));
+    let mut rng = StdRng::seed_from_u64(18);
+    for r in [1.0, 10.0, 50.0, 200.0] {
+        let out = sys.run_session(&mut rng, &Placement::free_space(r));
+        if !out.powered {
+            assert!(!out.command_decoded && !out.rn16_decoded);
+        }
+        if !out.command_decoded {
+            assert!(!out.rn16_decoded);
+        }
+    }
+}
+
+#[test]
+fn sessions_deterministic_for_seed() {
+    let sys = IvnSystem::new(SystemConfig::paper_prototype(5, TagSpec::standard()));
+    let a = sys.run_session(&mut StdRng::seed_from_u64(19), &Placement::water_tank(0.08));
+    let b = sys.run_session(&mut StdRng::seed_from_u64(19), &Placement::water_tank(0.08));
+    assert_eq!(a, b);
+}

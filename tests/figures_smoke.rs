@@ -1,0 +1,132 @@
+//! Smoke tests over the figure-reproduction harness: every `reproduce`
+//! target runs in quick mode and yields the paper's qualitative shape.
+
+#[test]
+fn fig2_threshold_blocks_small_voltages() {
+    let s = ivn_bench::fig02_diode::run(true);
+    // At 0.20 V the threshold diode passes zero current.
+    let line = s.lines().find(|l| l.trim_start().starts_with("0.20")).unwrap();
+    let cells: Vec<&str> = line.split_whitespace().collect();
+    assert_eq!(cells[2].parse::<f64>().unwrap(), 0.0, "{line}");
+}
+
+#[test]
+fn fig3_exponential_tissue_loss() {
+    let s = ivn_bench::fig03_tissue_loss::run(true);
+    // Parse the last row: tissue loss must exceed air loss by > 20 dB.
+    let last = s
+        .lines()
+        .filter(|l| l.trim_start().starts_with(char::is_numeric))
+        .next_back()
+        .unwrap();
+    let cells: Vec<f64> = last
+        .split_whitespace()
+        .filter_map(|t| t.parse().ok())
+        .collect();
+    assert!(cells[2] - cells[1] > 20.0, "{last}");
+}
+
+#[test]
+fn fig4_three_regimes() {
+    let s = ivn_bench::fig04_conduction::run(true);
+    assert!(s.contains("strong") && s.contains("marginal") && s.contains("dead"));
+}
+
+#[test]
+fn fig6_separation() {
+    let s = ivn_bench::fig06_freq_cdf::run(true);
+    assert!(s.contains("best plan"));
+    assert!(s.contains("worst plan"));
+}
+
+#[test]
+fn fig9_monotone_gain() {
+    let s = ivn_bench::fig09_gain_vs_antennas::run(true);
+    let medians: Vec<f64> = s
+        .lines()
+        .filter(|l| l.trim_start().starts_with(char::is_numeric))
+        .map(|l| {
+            l.split_whitespace()
+                .nth(2)
+                .unwrap()
+                .parse::<f64>()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(medians.len(), 10);
+    assert!(medians[9] > 10.0 * medians[0], "{medians:?}");
+}
+
+#[test]
+fn fig11_cib_dominates_in_every_medium() {
+    let s = ivn_bench::fig11_media::run(true);
+    for line in s
+        .lines()
+        .filter(|l| l.contains('[') && l.contains(']') && !l.contains("p10"))
+    {
+        // "medium  cib_med [p10, p90]  base_med [p10, p90]"
+        let nums: Vec<f64> = line
+            .split(|c: char| !c.is_ascii_digit() && c != '.')
+            .filter_map(|t| t.parse().ok())
+            .collect();
+        assert!(nums[0] > nums[3], "CIB should beat baseline: {line}");
+    }
+}
+
+#[test]
+fn fig12_headline_claims() {
+    let s = ivn_bench::fig12_ratio_cdf::run(true);
+    // "CIB wins at XX.X% of locations"
+    let wins: f64 = s
+        .lines()
+        .find(|l| l.starts_with("CIB wins"))
+        .and_then(|l| l.split(['a', '%']).find_map(|t| t.trim_start_matches('t').trim().parse().ok()))
+        .unwrap();
+    assert!(wins > 95.0, "win rate {wins}");
+}
+
+#[test]
+fn invivo_pattern_matches_paper() {
+    let s = ivn_bench::fig15_invivo::run(true);
+    let rows: Vec<&str> = s.lines().filter(|l| l.starts_with("swine")).collect();
+    assert_eq!(rows.len(), 4);
+    let count = |row: &str| -> (usize, usize) {
+        let frac = row.split_whitespace().find(|t| t.contains('/')).unwrap();
+        let (a, b) = frac.split_once('/').unwrap();
+        (a.parse().unwrap(), b.parse().unwrap())
+    };
+    let gastric_std = count(rows[0]);
+    let gastric_mini = count(rows[1]);
+    let subcut_std = count(rows[2]);
+    let subcut_mini = count(rows[3]);
+    // Paper §6.2 pattern: partial / none / all / all.
+    assert!(gastric_std.0 > 0 && gastric_std.0 < gastric_std.1, "{rows:?}");
+    assert_eq!(gastric_mini.0, 0, "{rows:?}");
+    assert_eq!(subcut_std.0, subcut_std.1, "{rows:?}");
+    assert_eq!(subcut_mini.0, subcut_mini.1, "{rows:?}");
+}
+
+#[test]
+fn freqs_optimization_feasible() {
+    let s = ivn_bench::tbl_freqs::run(true);
+    assert!(s.contains("optimized plan"));
+    // The reported RMS values must respect the 199 Hz cap.
+    for line in s.lines().filter(|l| l.trim_start().starts_with("rms")) {
+        let rms: f64 = line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(rms <= 199.0, "{line}");
+    }
+}
+
+#[test]
+fn ablations_run() {
+    let s = ivn_bench::ablations::run(true);
+    assert!(s.contains("stale"));
+    assert!(s.contains("OOB success"));
+    assert!(s.contains("Eq. 9"));
+    assert!(s.contains("averaging"));
+}
