@@ -1,75 +1,61 @@
 #![allow(missing_docs)]
-//! Criterion microbenches for the DSP kernels on the hot paths of the
-//! simulator: FFT, FIR filtering, envelope peak search, and correlation.
+//! Microbenches for the DSP kernels on the hot paths of the simulator:
+//! FFT, FIR filtering, envelope peak search, and correlation. Runs on the
+//! in-tree `ivn_runtime::bench` harness (`cargo bench --bench dsp_kernels`).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ivn_core::waveform::CibEnvelope;
 use ivn_dsp::complex::Complex64;
 use ivn_dsp::correlate::normalized_xcorr;
 use ivn_dsp::fft::fft;
 use ivn_dsp::filter::{design_lowpass, FirFilter};
 use ivn_dsp::window::Window;
+use ivn_runtime::bench::{black_box, Bench};
 
-fn bench_fft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft");
+fn bench_fft(b: &mut Bench) {
     for &n in &[256usize, 1024, 4096] {
-        let data: Vec<Complex64> = (0..n)
-            .map(|i| Complex64::cis(i as f64 * 0.1))
-            .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut d = data.clone();
-                fft(black_box(&mut d));
-                d
-            })
+        let data: Vec<Complex64> = (0..n).map(|i| Complex64::cis(i as f64 * 0.1)).collect();
+        b.bench(&format!("fft/{n}"), || {
+            let mut d = data.clone();
+            fft(black_box(&mut d));
+            d
         });
     }
-    group.finish();
 }
 
-fn bench_fir(c: &mut Criterion) {
+fn bench_fir(b: &mut Bench) {
     let taps = design_lowpass(50e3, 400e3, 63, Window::Hamming);
-    let input: Vec<Complex64> = (0..4096)
-        .map(|i| Complex64::cis(i as f64 * 0.03))
-        .collect();
-    c.bench_function("fir_63tap_4096", |b| {
-        b.iter(|| {
-            let mut f = FirFilter::new(taps.clone());
-            f.process_block(black_box(&input))
-        })
+    let input: Vec<Complex64> = (0..4096).map(|i| Complex64::cis(i as f64 * 0.03)).collect();
+    b.bench("fir_63tap_4096", || {
+        let mut f = FirFilter::new(taps.clone());
+        f.process_block(black_box(&input))
     });
 }
 
-fn bench_envelope_peak(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cib_peak_search");
+fn bench_envelope_peak(b: &mut Bench) {
     for &n in &[5usize, 10] {
         let offsets = &ivn_core::PAPER_OFFSETS_HZ[..n];
         let phases: Vec<f64> = (0..n).map(|i| i as f64 * 0.7).collect();
         let env = CibEnvelope::new(offsets, &phases);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(&env).peak_over_period(4096))
+        b.bench(&format!("cib_peak_search/{n}"), || {
+            black_box(&env).peak_over_period(4096)
         });
     }
-    group.finish();
 }
 
-fn bench_correlation(c: &mut Criterion) {
+fn bench_correlation(b: &mut Bench) {
     let template: Vec<Complex64> = (0..96)
         .map(|i| Complex64::from_real(if (i / 8) % 2 == 0 { 1.0 } else { -1.0 }))
         .collect();
-    let haystack: Vec<Complex64> = (0..4000)
-        .map(|i| Complex64::cis(i as f64 * 0.01))
-        .collect();
-    c.bench_function("normalized_xcorr_4000x96", |b| {
-        b.iter(|| normalized_xcorr(black_box(&haystack), black_box(&template)))
+    let haystack: Vec<Complex64> = (0..4000).map(|i| Complex64::cis(i as f64 * 0.01)).collect();
+    b.bench("normalized_xcorr_4000x96", || {
+        normalized_xcorr(black_box(&haystack), black_box(&template))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_fft,
-    bench_fir,
-    bench_envelope_peak,
-    bench_correlation
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new();
+    bench_fft(&mut b);
+    bench_fir(&mut b);
+    bench_envelope_peak(&mut b);
+    bench_correlation(&mut b);
+}

@@ -1,42 +1,35 @@
 #![allow(missing_docs)]
-//! Criterion benches for the full IVN session: power-up + downlink +
-//! uplink through the out-of-band reader, at several antenna counts.
+//! Benches for the full IVN session: power-up + downlink + uplink through
+//! the out-of-band reader, at several antenna counts. Runs on the in-tree
+//! `ivn_runtime::bench` harness (`cargo bench --bench end_to_end`).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ivn_core::body::{Placement, TagSpec};
 use ivn_core::system::{IvnSystem, SystemConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ivn_runtime::bench::{black_box, Bench};
+use ivn_runtime::rng::StdRng;
 
-fn bench_session(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_session");
-    group.sample_size(20);
+fn bench_session(b: &mut Bench) {
     for &n in &[1usize, 4, 8] {
         let sys = IvnSystem::new(SystemConfig::paper_prototype(n, TagSpec::standard()));
         let placement = Placement::free_space(3.0);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(11);
-                sys.run_session(&mut rng, black_box(&placement))
-            })
+        b.bench(&format!("full_session/{n}"), || {
+            let mut rng = StdRng::seed_from_u64(11);
+            sys.run_session(&mut rng, black_box(&placement))
         });
     }
-    group.finish();
 }
 
-fn bench_water_session(c: &mut Criterion) {
+fn bench_water_session(b: &mut Bench) {
     let sys = IvnSystem::new(SystemConfig::paper_prototype(8, TagSpec::standard()));
     let placement = Placement::water_tank(0.10);
-    let mut group = c.benchmark_group("water_session");
-    group.sample_size(20);
-    group.bench_function("std_tag_10cm", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(13);
-            sys.run_session(&mut rng, black_box(&placement))
-        })
+    b.bench("water_session/std_tag_10cm", || {
+        let mut rng = StdRng::seed_from_u64(13);
+        sys.run_session(&mut rng, black_box(&placement))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_session, bench_water_session);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new();
+    bench_session(&mut b);
+    bench_water_session(&mut b);
+}

@@ -1,27 +1,23 @@
 #![allow(missing_docs)]
-//! Criterion benches for the Eq. 10 Monte-Carlo optimizer: the per-plan
-//! objective evaluation and a full small-scale optimization.
+//! Benches for the Eq. 10 Monte-Carlo optimizer: the per-plan objective
+//! evaluation and a full small-scale optimization. Runs on the in-tree
+//! `ivn_runtime::bench` harness (`cargo bench --bench optimizer`).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ivn_core::freqsel::{expected_peak, optimize, FreqSelConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ivn_runtime::bench::{black_box, Bench};
+use ivn_runtime::rng::StdRng;
 
-fn bench_objective(c: &mut Criterion) {
-    let mut group = c.benchmark_group("expected_peak");
+fn bench_objective(b: &mut Bench) {
     for &n in &[5usize, 10] {
         let offsets = &ivn_core::PAPER_OFFSETS_HZ[..n];
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(1);
-                expected_peak(black_box(offsets), 32, 1024, &mut rng)
-            })
+        b.bench(&format!("expected_peak/{n}"), || {
+            let mut rng = StdRng::seed_from_u64(1);
+            expected_peak(black_box(offsets), 32, 1024, &mut rng)
         });
     }
-    group.finish();
 }
 
-fn bench_optimize_small(c: &mut Criterion) {
+fn bench_optimize_small(b: &mut Bench) {
     let cfg = FreqSelConfig {
         n_antennas: 5,
         rms_limit_hz: 199.0,
@@ -31,10 +27,11 @@ fn bench_optimize_small(c: &mut Criterion) {
         restarts: 2,
         iterations: 30,
     };
-    c.bench_function("optimize_n5_small", |b| {
-        b.iter(|| optimize(black_box(&cfg), 7))
-    });
+    b.bench("optimize_n5_small", || optimize(black_box(&cfg), 7));
 }
 
-criterion_group!(benches, bench_objective, bench_optimize_small);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new();
+    bench_objective(&mut b);
+    bench_optimize_small(&mut b);
+}

@@ -16,8 +16,7 @@ use ivn_core::waveform::{eq9_rms_bound, rms_offset, CibEnvelope};
 use ivn_rfid::commands::{Command, DivideRatio, Session, TagEncoding};
 use ivn_rfid::link::LinkParams;
 use ivn_rfid::pie;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ivn_runtime::rng::{Rng, StdRng};
 
 /// Ablation 1: stale-channel MRT vs the blind baseline.
 pub fn coherent_vs_baseline(quick: bool) -> String {
@@ -98,11 +97,17 @@ pub fn flatness_constraint(_quick: bool) -> String {
         ("paper (rms 82 Hz)", ivn_core::PAPER_OFFSETS_HZ.to_vec()),
         (
             "wide ×20 (rms 1.6 kHz)",
-            ivn_core::PAPER_OFFSETS_HZ.iter().map(|f| f * 20.0).collect(),
+            ivn_core::PAPER_OFFSETS_HZ
+                .iter()
+                .map(|f| f * 20.0)
+                .collect(),
         ),
         (
             "wide ×60 (rms 4.9 kHz)",
-            ivn_core::PAPER_OFFSETS_HZ.iter().map(|f| f * 60.0).collect(),
+            ivn_core::PAPER_OFFSETS_HZ
+                .iter()
+                .map(|f| f * 60.0)
+                .collect(),
         ),
     ];
     let mut out = crate::header("Ablation — query decodability vs frequency-plan RMS (Eq. 9)");
@@ -132,7 +137,10 @@ pub fn flatness_constraint(_quick: bool) -> String {
                 .enumerate()
                 .map(|(k, &p)| p * env.envelope(t0 + k as f64 / rate))
                 .collect();
-            if pie::decode_frame(&tag_env, rate).map(|d| d == bits).unwrap_or(false) {
+            if pie::decode_frame(&tag_env, rate)
+                .map(|d| d == bits)
+                .unwrap_or(false)
+            {
                 ok += 1;
             }
         }
@@ -307,10 +315,7 @@ mod tests {
         let s = super::flatness_constraint(true);
         // The paper plan must decode every trial; the widest plan must
         // fail most trials.
-        let rows: Vec<&str> = s
-            .lines()
-            .filter(|l| l.contains("/20"))
-            .collect();
+        let rows: Vec<&str> = s.lines().filter(|l| l.contains("/20")).collect();
         assert_eq!(rows.len(), 3, "{s}");
         assert!(rows[0].contains("20/20"), "paper plan failed: {}", rows[0]);
         let worst: usize = rows[2]

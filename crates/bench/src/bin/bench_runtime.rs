@@ -1,0 +1,61 @@
+//! Runtime-layer benchmark: serial vs parallel Monte-Carlo wall-clock.
+//!
+//! Times `peak_gain_cdf` on one worker thread against the machine's full
+//! worker-pool width, verifies the two produce bit-identical results, and
+//! writes `BENCH_runtime.json` (machine-readable, via the in-tree JSON
+//! layer) to the current directory.
+//!
+//! Set `IVN_BENCH_FAST=1` for a quick smoke run.
+
+use ivn_core::experiment::peak_gain_cdf_threads;
+use ivn_core::PAPER_OFFSETS_HZ;
+use ivn_runtime::bench::{black_box, Bench};
+use ivn_runtime::json::Json;
+use ivn_runtime::par;
+
+const SEED: u64 = 42;
+const GRID: usize = 1024;
+
+fn main() {
+    let fast = std::env::var("IVN_BENCH_FAST").is_ok_and(|v| v == "1");
+    let trials = if fast { 64 } else { 400 };
+    let threads = par::num_threads();
+    let offsets = &PAPER_OFFSETS_HZ[..5];
+
+    // The parallel path must change only how fast the answer arrives.
+    let serial = peak_gain_cdf_threads(offsets, trials, GRID, SEED, 1);
+    let parallel = peak_gain_cdf_threads(offsets, trials, GRID, SEED, threads);
+    assert_eq!(
+        serial, parallel,
+        "parallel peak_gain_cdf diverged from serial"
+    );
+
+    let mut b = Bench::new();
+    let serial_ns = b
+        .bench("peak_gain_cdf/serial", || {
+            black_box(peak_gain_cdf_threads(offsets, trials, GRID, SEED, 1))
+        })
+        .median_ns;
+    let parallel_ns = b
+        .bench(&format!("peak_gain_cdf/parallel_x{threads}"), || {
+            black_box(peak_gain_cdf_threads(offsets, trials, GRID, SEED, threads))
+        })
+        .median_ns;
+    let speedup = serial_ns / parallel_ns;
+    println!("worker threads: {threads}, speedup: {speedup:.2}x");
+
+    let doc = Json::obj([
+        ("bench", "peak_gain_cdf".into()),
+        ("offsets", offsets.to_vec().into()),
+        ("trials", trials.into()),
+        ("grid", GRID.into()),
+        ("seed", (SEED as f64).into()),
+        ("worker_threads", threads.into()),
+        ("serial_median_ns", serial_ns.into()),
+        ("parallel_median_ns", parallel_ns.into()),
+        ("speedup", speedup.into()),
+        ("results", b.to_json()),
+    ]);
+    std::fs::write("BENCH_runtime.json", doc.dump() + "\n").expect("write BENCH_runtime.json");
+    println!("wrote BENCH_runtime.json");
+}

@@ -51,8 +51,18 @@ fn main() -> ExitCode {
 
     if target == "all" {
         for name in [
-            "fig2", "fig3", "fig4", "fig6", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "invivo", "freqs", "ablations",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig6",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "invivo",
+            "freqs",
+            "ablations",
         ] {
             print!("{}", render(name).expect("known target"));
         }

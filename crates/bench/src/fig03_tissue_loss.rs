@@ -20,8 +20,7 @@ pub fn run(_quick: bool) -> String {
     for k in 1..=15 {
         let extra_cm = 2.0 * k as f64;
         let air_only = LayeredPath::free_space(0.10 + extra_cm / 100.0).path_loss_db(F);
-        let tissue =
-            single_medium_path(0.10, Medium::muscle(), extra_cm / 100.0).path_loss_db(F);
+        let tissue = single_medium_path(0.10, Medium::muscle(), extra_cm / 100.0).path_loss_db(F);
         out += &format!("{:>10.0}  {:>12.2}  {:>16.2}\n", extra_cm, air_only, tissue);
     }
     out += &format!(

@@ -30,7 +30,12 @@ mod tests {
     #[test]
     fn ten_rows_increasing() {
         let s = super::run(true);
-        assert_eq!(s.lines().filter(|l| l.trim().starts_with(char::is_numeric)).count(), 10);
+        assert_eq!(
+            s.lines()
+                .filter(|l| l.trim().starts_with(char::is_numeric))
+                .count(),
+            10
+        );
         assert!(s.contains("paper anchors"));
     }
 }

@@ -7,10 +7,15 @@ use ivn_core::experiment::{gain_vs_depth, gain_vs_orientation};
 pub fn run(quick: bool) -> String {
     let trials = if quick { 30 } else { 100 };
     let depths = [0.0, 0.025, 0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20];
-    let orientations: Vec<f64> = (0..9).map(|k| k as f64 * std::f64::consts::TAU / 8.0 / 2.0).collect();
+    let orientations: Vec<f64> = (0..9)
+        .map(|k| k as f64 * std::f64::consts::TAU / 8.0 / 2.0)
+        .collect();
 
     let mut out = crate::header("Fig. 10a — power gain vs depth in water (10 antennas)");
-    out += &format!("{:>12}  {:>10}  {:>10}  {:>10}\n", "depth (cm)", "p10", "median", "p90");
+    out += &format!(
+        "{:>12}  {:>10}  {:>10}  {:>10}\n",
+        "depth (cm)", "p10", "median", "p90"
+    );
     for r in gain_vs_depth(&depths, trials, 1010) {
         out += &format!(
             "{:>12.1}  {:>10.1}  {:>10.1}  {:>10.1}\n",
@@ -22,7 +27,10 @@ pub fn run(quick: bool) -> String {
     }
 
     out += &crate::header("Fig. 10b — power gain vs orientation (10 antennas)");
-    out += &format!("{:>12}  {:>10}  {:>10}  {:>10}\n", "theta (rad)", "p10", "median", "p90");
+    out += &format!(
+        "{:>12}  {:>10}  {:>10}  {:>10}\n",
+        "theta (rad)", "p10", "median", "p90"
+    );
     for r in gain_vs_orientation(&orientations, trials, 1011) {
         out += &format!(
             "{:>12.2}  {:>10.1}  {:>10.1}  {:>10.1}\n",

@@ -16,13 +16,17 @@ pub fn run(quick: bool) -> String {
     for r in &rows {
         out += &format!(
             "{:<18}  {:>7.1} [{:>5.1},{:>6.1}]  {:>7.1} [{:>5.1},{:>6.1}]\n",
-            r.medium, r.cib.median, r.cib.p10, r.cib.p90, r.baseline.median, r.baseline.p10,
+            r.medium,
+            r.cib.median,
+            r.cib.p10,
+            r.cib.p90,
+            r.baseline.median,
+            r.baseline.p10,
             r.baseline.p90
         );
     }
     let mean_cib: f64 = rows.iter().map(|r| r.cib.median).sum::<f64>() / rows.len() as f64;
-    let mean_base: f64 =
-        rows.iter().map(|r| r.baseline.median).sum::<f64>() / rows.len() as f64;
+    let mean_base: f64 = rows.iter().map(|r| r.baseline.median).sum::<f64>() / rows.len() as f64;
     out += &format!(
         "\npaper: CIB ≈ 80×, baseline ≈ 10× in every medium (≈ 8× apart)\nmeasured means: CIB {mean_cib:.0}×, baseline {mean_base:.0}× ({:.1}× apart)\n",
         mean_cib / mean_base
@@ -36,7 +40,13 @@ mod tests {
     fn seven_media() {
         let s = super::run(true);
         for m in [
-            "air", "water", "gastric", "intestinal", "steak", "bacon", "chicken",
+            "air",
+            "water",
+            "gastric",
+            "intestinal",
+            "steak",
+            "bacon",
+            "chicken",
         ] {
             assert!(s.contains(m), "missing {m}");
         }

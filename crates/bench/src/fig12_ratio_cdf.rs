@@ -9,7 +9,9 @@ pub fn run(quick: bool) -> String {
     let cdf = cib_vs_baseline_cdf(trials, 1212);
     let mut out = crate::header("Fig. 12 — CDF of CIB / 10-antenna-baseline power ratio");
     out += &format!("{:>14}  {:>10}\n", "ratio (log)", "CDF");
-    for exp in [-0.5, 0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0] {
+    for exp in [
+        -0.5, 0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0,
+    ] {
         let x = 10f64.powf(exp);
         out += &format!("{:>14.2}  {:>10.3}\n", x, cdf.eval(x));
     }

@@ -14,10 +14,30 @@ pub fn run(quick: bool) -> String {
     let n_max = if quick { 4 } else { 8 };
     let mut out = String::new();
     let panels = [
-        ("Fig. 13a — standard tag in air (m)", RangeEnvironment::Air, TagSpec::standard(), 1.0),
-        ("Fig. 13b — miniature tag in air (m)", RangeEnvironment::Air, TagSpec::miniature(), 1.0),
-        ("Fig. 13c — standard tag in water (cm)", RangeEnvironment::Water, TagSpec::standard(), 100.0),
-        ("Fig. 13d — miniature tag in water (cm)", RangeEnvironment::Water, TagSpec::miniature(), 100.0),
+        (
+            "Fig. 13a — standard tag in air (m)",
+            RangeEnvironment::Air,
+            TagSpec::standard(),
+            1.0,
+        ),
+        (
+            "Fig. 13b — miniature tag in air (m)",
+            RangeEnvironment::Air,
+            TagSpec::miniature(),
+            1.0,
+        ),
+        (
+            "Fig. 13c — standard tag in water (cm)",
+            RangeEnvironment::Water,
+            TagSpec::standard(),
+            100.0,
+        ),
+        (
+            "Fig. 13d — miniature tag in water (cm)",
+            RangeEnvironment::Water,
+            TagSpec::miniature(),
+            100.0,
+        ),
     ];
     for (title, env, tag, scale) in panels {
         out += &crate::header(title);

@@ -3,8 +3,7 @@
 
 use ivn_core::freqsel::{expected_peak, optimize, FreqSelConfig};
 use ivn_core::waveform::{eq9_rms_bound, rms_offset};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ivn_runtime::rng::StdRng;
 
 /// Re-runs the Eq. 10 optimization at paper scale (N = 10, RMS ≤ 199 Hz)
 /// and compares the result to the paper's published plan.

@@ -170,8 +170,7 @@ impl Beamformer for CibBeamformer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ivn_runtime::rng::{Rng, StdRng};
     use std::f64::consts::TAU;
 
     fn blind_channels(rng: &mut StdRng, n: usize, amp: f64) -> Vec<Complex64> {

@@ -26,15 +26,14 @@ use ivn_em::antenna::Antenna;
 use ivn_em::layered::{single_medium_path, Layer, LayeredPath};
 use ivn_em::medium::Medium;
 use ivn_harvester::powerup::TagPowerProfile;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ivn_runtime::rng::Rng;
 use std::f64::consts::TAU;
 
 /// The paper's per-antenna transmit EIRP: 30 dBm PA into a 7 dBi antenna.
 pub const PAPER_EIRP_DBM: f64 = 37.0;
 
 /// A complete tag specification: RF front door plus power profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TagSpec {
     /// Antenna model (gain, orientation floor, polarization).
     pub antenna: Antenna,
@@ -75,7 +74,7 @@ impl TagSpec {
 }
 
 /// One physical experiment setup.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
     /// Report name.
     pub name: String,
@@ -200,8 +199,8 @@ impl Placement {
         };
         let nominal = self.nominal_rx_power(tag, eirp_w, freq_hz);
         // Apply the orientation factor relative to boresight.
-        let orient = tag.antenna.orientation_factor(orientation)
-            / tag.antenna.orientation_factor(0.0);
+        let orient =
+            tag.antenna.orientation_factor(orientation) / tag.antenna.orientation_factor(0.0);
         let channels = (0..n_antennas)
             .map(|_| {
                 let jitter_db = self.amplitude_jitter_db * (2.0 * rng.random::<f64>() - 1.0);
@@ -230,8 +229,7 @@ pub struct Trial {
 mod tests {
     use super::*;
     use ivn_dsp::units::dbm_to_watts;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ivn_runtime::rng::StdRng;
 
     const F: f64 = 915e6;
 
@@ -256,7 +254,10 @@ mod tests {
         let p = Placement::free_space(0.52).nominal_rx_power(&mini, eirp(), F);
         let required = mini.power.required_peak_power_watts();
         let margin_db = 10.0 * (p / required).log10();
-        assert!(margin_db.abs() < 1.0, "mini margin at 0.52 m: {margin_db} dB");
+        assert!(
+            margin_db.abs() < 1.0,
+            "mini margin at 0.52 m: {margin_db} dB"
+        );
     }
 
     #[test]
@@ -272,9 +273,8 @@ mod tests {
                 / std_tag.power.required_peak_power_watts())
             .log10();
         let m_mini = 10.0
-            * (face.nominal_rx_power(&mini, eirp(), F)
-                / mini.power.required_peak_power_watts())
-            .log10();
+            * (face.nominal_rx_power(&mini, eirp(), F) / mini.power.required_peak_power_watts())
+                .log10();
         assert!(m_std > 0.0 && m_std < 4.0, "std face margin {m_std}");
         assert!(m_mini < -5.0, "mini face margin {m_mini}");
     }
@@ -287,8 +287,7 @@ mod tests {
         let tag = TagSpec::standard();
         let g = Placement::swine_gastric();
         let margin_db = 10.0
-            * (g.nominal_rx_power(&tag, eirp(), F) / tag.power.required_peak_power_watts())
-                .log10();
+            * (g.nominal_rx_power(&tag, eirp(), F) / tag.power.required_peak_power_watts()).log10();
         assert!(
             margin_db > -16.0 && margin_db < -9.0,
             "gastric margin {margin_db} dB"
@@ -300,8 +299,7 @@ mod tests {
         let tag = TagSpec::standard();
         let s = Placement::swine_subcutaneous();
         let margin_db = 10.0
-            * (s.nominal_rx_power(&tag, eirp(), F) / tag.power.required_peak_power_watts())
-                .log10();
+            * (s.nominal_rx_power(&tag, eirp(), F) / tag.power.required_peak_power_watts()).log10();
         assert!(margin_db > 5.0, "subcutaneous margin {margin_db} dB");
     }
 
@@ -328,8 +326,12 @@ mod tests {
             assert!(ratio_db.abs() < 1.0, "jitter {ratio_db} dB");
         }
         // Phases spread over the circle.
-        let mean: Complex64 =
-            trial.channels.iter().map(|c| *c / c.norm()).sum::<Complex64>() / 8.0;
+        let mean: Complex64 = trial
+            .channels
+            .iter()
+            .map(|c| *c / c.norm())
+            .sum::<Complex64>()
+            / 8.0;
         assert!(mean.norm() < 0.9);
     }
 

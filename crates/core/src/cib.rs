@@ -14,13 +14,12 @@
 
 use crate::waveform::CibEnvelope;
 use ivn_dsp::complex::Complex64;
+use ivn_runtime::rng::Rng;
 use ivn_sdr::bank::TxBank;
 use ivn_sdr::clock::ClockDistribution;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Static configuration of a CIB beamformer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CibConfig {
     /// Per-antenna frequency offsets from the band centre, Hz. The length
     /// sets the antenna count.
@@ -104,8 +103,7 @@ impl CibConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ivn_runtime::rng::StdRng;
     use std::f64::consts::TAU;
 
     #[test]

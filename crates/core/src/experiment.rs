@@ -4,6 +4,13 @@
 //! statistics the paper plots. The bench harness (`ivn-bench`) formats
 //! them into the paper's rows/series; integration tests assert their
 //! shapes.
+//!
+//! All Monte-Carlo loops run on the `ivn-runtime` worker pool: trial `i`
+//! draws from an RNG stream forked off the campaign seed
+//! (`StdRng::seed_from_u64(seed).fork(i)`), so the results are
+//! byte-identical at any worker-thread count — including the serial
+//! fallback. The `*_threads` variants take an explicit thread count; the
+//! plain forms use [`ivn_runtime::par::num_threads`].
 
 use crate::baselines::{Beamformer, BlindCoherent, CibBeamformer, CoherentMrt, SingleAntenna};
 use crate::body::{Placement, TagSpec, PAPER_EIRP_DBM};
@@ -13,9 +20,8 @@ use ivn_dsp::complex::Complex64;
 use ivn_dsp::stats::{Ecdf, Summary};
 use ivn_dsp::units::dbm_to_watts;
 use ivn_em::medium::Medium;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use ivn_runtime::par;
+use ivn_runtime::rng::{Rng, StdRng};
 use std::f64::consts::TAU;
 
 /// Draws `n` unit-amplitude blind channels.
@@ -40,9 +46,8 @@ pub fn faded_channels<R: Rng + ?Sized>(rng: &mut R, n: usize, k_factor: f64) -> 
             let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
             let scatter_amp = (-u.ln()).sqrt() / (1.0 + k_factor).sqrt();
             let scatter_ph = rng.random::<f64>() * TAU;
-            let amp = (Complex64::from_real(los)
-                + Complex64::from_polar(scatter_amp, scatter_ph))
-            .norm();
+            let amp =
+                (Complex64::from_real(los) + Complex64::from_polar(scatter_amp, scatter_ph)).norm();
             Complex64::from_polar(amp, rng.random::<f64>() * TAU)
         })
         .collect()
@@ -53,17 +58,28 @@ pub fn faded_channels<R: Rng + ?Sized>(rng: &mut R, n: usize, k_factor: f64) -> 
 // ---------------------------------------------------------------------
 
 /// Monte-Carlo CDF of the peak power gain for an offset plan under random
-/// phases (`trials` draws).
+/// phases (`trials` draws), on the default worker-pool width.
 pub fn peak_gain_cdf(offsets_hz: &[f64], trials: usize, grid: usize, seed: u64) -> Ecdf {
-    let mut rng = StdRng::seed_from_u64(seed);
+    peak_gain_cdf_threads(offsets_hz, trials, grid, seed, par::num_threads())
+}
+
+/// [`peak_gain_cdf`] with an explicit worker-thread count. The result is
+/// independent of `threads`: trial `i` always draws from stream `fork(i)`.
+pub fn peak_gain_cdf_threads(
+    offsets_hz: &[f64],
+    trials: usize,
+    grid: usize,
+    seed: u64,
+    threads: usize,
+) -> Ecdf {
     let cfg = CibConfig {
         offsets_hz: offsets_hz.to_vec(),
         carrier_hz: crate::BEAMFORMER_CARRIER_HZ,
         grid,
     };
-    let samples: Vec<f64> = (0..trials)
-        .map(|_| cfg.received_peak_power(&blind_channels(&mut rng, offsets_hz.len())))
-        .collect();
+    let samples = par::ensemble_threads(threads, trials, seed, |rng, _| {
+        cfg.received_peak_power(&blind_channels(rng, offsets_hz.len()))
+    });
     Ecdf::new(samples)
 }
 
@@ -73,7 +89,7 @@ pub fn peak_gain_cdf(offsets_hz: &[f64], trials: usize, grid: usize, seed: u64) 
 
 /// One Fig. 9 row: antenna count and the gain summary over `trials`
 /// random channel conditions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GainVsAntennas {
     /// Antenna count.
     pub n: usize,
@@ -83,23 +99,32 @@ pub struct GainVsAntennas {
 
 /// Reproduces Fig. 9: gain vs antennas, 1..=n_max, `trials` per point.
 pub fn gain_vs_antennas(n_max: usize, trials: usize, seed: u64) -> Vec<GainVsAntennas> {
+    gain_vs_antennas_threads(n_max, trials, seed, par::num_threads())
+}
+
+/// [`gain_vs_antennas`] with an explicit worker-thread count; the result
+/// is independent of `threads`.
+pub fn gain_vs_antennas_threads(
+    n_max: usize,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<GainVsAntennas> {
     assert!((1..=10).contains(&n_max));
-    let mut rows = Vec::with_capacity(n_max);
-    for n in 1..=n_max {
-        let cfg = CibConfig::paper_prototype_n(n);
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(n as u64));
-        let gains: Vec<f64> = (0..trials)
-            .map(|_| {
-                let ch = faded_channels(&mut rng, n, LAB_RICIAN_K);
-                cfg.received_peak_power(&ch) / ch[0].norm_sqr()
-            })
-            .collect();
-        rows.push(GainVsAntennas {
-            n,
-            gain: Summary::of(&gains).expect("non-empty"),
-        });
-    }
-    rows
+    (1..=n_max)
+        .map(|n| {
+            let cfg = CibConfig::paper_prototype_n(n);
+            let gains =
+                par::ensemble_threads(threads, trials, seed.wrapping_add(n as u64), |rng, _| {
+                    let ch = faded_channels(rng, n, LAB_RICIAN_K);
+                    cfg.received_peak_power(&ch) / ch[0].norm_sqr()
+                });
+            GainVsAntennas {
+                n,
+                gain: Summary::of(&gains).expect("non-empty"),
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -107,7 +132,7 @@ pub fn gain_vs_antennas(n_max: usize, trials: usize, seed: u64) -> Vec<GainVsAnt
 // ---------------------------------------------------------------------
 
 /// One Fig. 10 row: the swept parameter value and the gain summary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GainAtParameter {
     /// Depth in metres (Fig. 10a) or orientation in radians (Fig. 10b).
     pub parameter: f64,
@@ -127,14 +152,11 @@ pub fn gain_vs_depth(depths_m: &[f64], trials: usize, seed: u64) -> Vec<GainAtPa
         .enumerate()
         .map(|(di, &d)| {
             let placement = Placement::water_tank(d);
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(di as u64 * 977));
-            let gains: Vec<f64> = (0..trials)
-                .map(|_| {
-                    let trial = placement.draw_trial(&mut rng, 10, &tag, eirp, cfg.carrier_hz);
-                    let single = trial.channels[0].norm_sqr();
-                    cfg.received_peak_power(&trial.channels) / single
-                })
-                .collect();
+            let gains = par::ensemble(trials, seed.wrapping_add(di as u64 * 977), |rng, _| {
+                let trial = placement.draw_trial(rng, 10, &tag, eirp, cfg.carrier_hz);
+                let single = trial.channels[0].norm_sqr();
+                cfg.received_peak_power(&trial.channels) / single
+            });
             GainAtParameter {
                 parameter: d,
                 gain: Summary::of(&gains).expect("non-empty"),
@@ -156,18 +178,15 @@ pub fn gain_vs_orientation(
         .iter()
         .enumerate()
         .map(|(oi, &theta)| {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(oi as u64 * 7919));
             let orient = tag.antenna.orientation_factor(theta);
-            let gains: Vec<f64> = (0..trials)
-                .map(|_| {
-                    let channels: Vec<Complex64> = blind_channels(&mut rng, 10)
-                        .into_iter()
-                        .map(|c| c * orient.sqrt())
-                        .collect();
-                    let single = channels[0].norm_sqr();
-                    cfg.received_peak_power(&channels) / single
-                })
-                .collect();
+            let gains = par::ensemble(trials, seed.wrapping_add(oi as u64 * 7919), |rng, _| {
+                let channels: Vec<Complex64> = blind_channels(rng, 10)
+                    .into_iter()
+                    .map(|c| c * orient.sqrt())
+                    .collect();
+                let single = channels[0].norm_sqr();
+                cfg.received_peak_power(&channels) / single
+            });
             GainAtParameter {
                 parameter: theta,
                 gain: Summary::of(&gains).expect("non-empty"),
@@ -181,7 +200,7 @@ pub fn gain_vs_orientation(
 // ---------------------------------------------------------------------
 
 /// One Fig. 11 bar pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MediaGain {
     /// Medium name.
     pub medium: String,
@@ -200,21 +219,21 @@ pub fn gain_across_media(trials: usize, seed: u64) -> Vec<MediaGain> {
         .into_iter()
         .enumerate()
         .map(|(mi, medium)| {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(mi as u64 * 104729));
-            let mut cib_gains = Vec::with_capacity(trials);
-            let mut base_gains = Vec::with_capacity(trials);
-            for _ in 0..trials {
-                // Bulk attenuation is common to all antennas, so the gain
-                // over a single antenna is attenuation-free — the medium
-                // randomizes *phases*, which every medium does equally.
-                // This is the paper's Fig. 11 point: the gain is
-                // medium-independent. Small-scale Rician fading supplies
-                // the per-antenna amplitude spread of a real room.
-                let channels = faded_channels(&mut rng, 10, LAB_RICIAN_K);
+            // Bulk attenuation is common to all antennas, so the gain
+            // over a single antenna is attenuation-free — the medium
+            // randomizes *phases*, which every medium does equally.
+            // This is the paper's Fig. 11 point: the gain is
+            // medium-independent. Small-scale Rician fading supplies
+            // the per-antenna amplitude spread of a real room.
+            let pairs = par::ensemble(trials, seed.wrapping_add(mi as u64 * 104729), |rng, _| {
+                let channels = faded_channels(rng, 10, LAB_RICIAN_K);
                 let single = channels[0].norm_sqr();
-                cib_gains.push(cib.peak_power(&channels) / single);
-                base_gains.push(baseline.peak_power(&channels) / single);
-            }
+                (
+                    cib.peak_power(&channels) / single,
+                    baseline.peak_power(&channels) / single,
+                )
+            });
+            let (cib_gains, base_gains): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
             MediaGain {
                 medium: medium.name,
                 cib: Summary::of(&cib_gains).expect("non-empty"),
@@ -231,17 +250,14 @@ pub fn gain_across_media(trials: usize, seed: u64) -> Vec<MediaGain> {
 /// Reproduces Fig. 12: the per-location ratio of CIB peak power to the
 /// blind 10-antenna baseline's power, as an ECDF.
 pub fn cib_vs_baseline_cdf(trials: usize, seed: u64) -> Ecdf {
-    let mut rng = StdRng::seed_from_u64(seed);
     let cib = CibBeamformer {
         config: CibConfig::paper_prototype(),
     };
     let baseline = BlindCoherent { n: 10 };
-    let ratios: Vec<f64> = (0..trials)
-        .map(|_| {
-            let channels = faded_channels(&mut rng, 10, LAB_RICIAN_K);
-            cib.peak_power(&channels) / baseline.peak_power(&channels).max(1e-12)
-        })
-        .collect();
+    let ratios = par::ensemble(trials, seed, |rng, _| {
+        let channels = faded_channels(rng, 10, LAB_RICIAN_K);
+        cib.peak_power(&channels) / baseline.peak_power(&channels).max(1e-12)
+    });
     Ecdf::new(ratios)
 }
 
@@ -250,23 +266,20 @@ pub fn cib_vs_baseline_cdf(trials: usize, seed: u64) -> Ecdf {
 /// valid channel estimates is no better than the baseline. Returns the
 /// ECDF of MRT-with-stale-phases / baseline ratios.
 pub fn stale_mrt_vs_baseline_cdf(trials: usize, seed: u64) -> Ecdf {
-    let mut rng = StdRng::seed_from_u64(seed);
     let baseline = BlindCoherent { n: 10 };
-    let ratios: Vec<f64> = (0..trials)
-        .map(|_| {
-            // The "coherent beamformer" applied precoding for a *previous*
-            // channel draw; the medium shifted the phases since.
-            let stale = blind_channels(&mut rng, 10);
-            let current = blind_channels(&mut rng, 10);
-            let precoded: Vec<Complex64> = current
-                .iter()
-                .zip(&stale)
-                .map(|(h, s)| *h * s.conj())
-                .collect();
-            let coherent_power = precoded.iter().copied().sum::<Complex64>().norm_sqr();
-            coherent_power / baseline.peak_power(&current).max(1e-12)
-        })
-        .collect();
+    let ratios = par::ensemble(trials, seed, |rng, _| {
+        // The "coherent beamformer" applied precoding for a *previous*
+        // channel draw; the medium shifted the phases since.
+        let stale = blind_channels(rng, 10);
+        let current = blind_channels(rng, 10);
+        let precoded: Vec<Complex64> = current
+            .iter()
+            .zip(&stale)
+            .map(|(h, s)| *h * s.conj())
+            .collect();
+        let coherent_power = precoded.iter().copied().sum::<Complex64>().norm_sqr();
+        coherent_power / baseline.peak_power(&current).max(1e-12)
+    });
     Ecdf::new(ratios)
 }
 
@@ -275,7 +288,7 @@ pub fn stale_mrt_vs_baseline_cdf(trials: usize, seed: u64) -> Ecdf {
 // ---------------------------------------------------------------------
 
 /// One Fig. 13 data point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RangePoint {
     /// Antenna count.
     pub n: usize,
@@ -284,7 +297,7 @@ pub struct RangePoint {
 }
 
 /// Which Fig. 13 panel to reproduce.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RangeEnvironment {
     /// Line-of-sight air (Fig. 13a/b).
     Air,
@@ -299,17 +312,18 @@ pub fn range_vs_antennas(
     n_max: usize,
     seed: u64,
 ) -> Vec<RangePoint> {
-    (1..=n_max)
-        .map(|n| {
-            let sys = IvnSystem::new(SystemConfig::paper_prototype(n, tag.clone()));
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(n as u64 * 31));
-            let range_m = match env {
-                RangeEnvironment::Air => sys.max_range_air(&mut rng, 0.05, 80.0, 2),
-                RangeEnvironment::Water => sys.max_depth_water(&mut rng, 0.5, 2),
-            };
-            RangePoint { n, range_m }
-        })
-        .collect()
+    // Each antenna count is an independent bisection search with its own
+    // seed, so the sweep parallelizes over `n` rather than over trials.
+    let ns: Vec<usize> = (1..=n_max).collect();
+    par::par_map(&ns, |_, &n| {
+        let sys = IvnSystem::new(SystemConfig::paper_prototype(n, tag.clone()));
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(n as u64 * 31));
+        let range_m = match env {
+            RangeEnvironment::Air => sys.max_range_air(&mut rng, 0.05, 80.0, 2),
+            RangeEnvironment::Water => sys.max_depth_water(&mut rng, 0.5, 2),
+        };
+        RangePoint { n, range_m }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -317,7 +331,7 @@ pub fn range_vs_antennas(
 // ---------------------------------------------------------------------
 
 /// One in-vivo campaign row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InVivoRow {
     /// Placement name.
     pub placement: String,
@@ -341,17 +355,16 @@ pub fn in_vivo_campaign(trials: usize, seed: u64) -> Vec<InVivoRow> {
     for (pi, placement) in placements.iter().enumerate() {
         for (ti, tag) in tags.iter().enumerate() {
             let sys = IvnSystem::new(SystemConfig::paper_prototype(8, tag.clone()));
-            let mut rng =
-                StdRng::seed_from_u64(seed.wrapping_add((pi * 2 + ti) as u64 * 65537));
-            let mut successes = 0;
-            let mut correlations = Vec::with_capacity(trials);
-            for _ in 0..trials {
-                let out = sys.run_session(&mut rng, placement);
-                if out.success() {
-                    successes += 1;
-                }
-                correlations.push(out.correlation);
-            }
+            let outcomes = par::ensemble(
+                trials,
+                seed.wrapping_add((pi * 2 + ti) as u64 * 65537),
+                |rng, _| {
+                    let out = sys.run_session(rng, placement);
+                    (out.success(), out.correlation)
+                },
+            );
+            let successes = outcomes.iter().filter(|(ok, _)| *ok).count();
+            let correlations: Vec<f64> = outcomes.iter().map(|(_, c)| *c).collect();
             rows.push(InVivoRow {
                 placement: placement.name.clone(),
                 tag: tag.power.name.clone(),
@@ -371,19 +384,19 @@ pub fn in_vivo_campaign(trials: usize, seed: u64) -> Vec<InVivoRow> {
 /// Mean CIB-to-MRT peak-power ratio over random channels: how close blind
 /// CIB gets to the channel-aware optimum.
 pub fn cib_mrt_efficiency(n: usize, trials: usize, seed: u64) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
     let cib = CibBeamformer {
         config: CibConfig::paper_prototype_n(n.min(10)),
     };
-    let mrt = CoherentMrt { n: cib.n_antennas() };
+    let mrt = CoherentMrt {
+        n: cib.n_antennas(),
+    };
     let single = SingleAntenna;
-    let mut acc = 0.0;
-    for _ in 0..trials {
-        let ch = blind_channels(&mut rng, cib.n_antennas());
+    let ratios = par::ensemble(trials, seed, |rng, _| {
+        let ch = blind_channels(rng, cib.n_antennas());
         debug_assert!(single.peak_power(&ch) > 0.0);
-        acc += cib.peak_power(&ch) / mrt.peak_power(&ch);
-    }
-    acc / trials as f64
+        cib.peak_power(&ch) / mrt.peak_power(&ch)
+    });
+    ratios.iter().sum::<f64>() / trials as f64
 }
 
 #[cfg(test)]
@@ -476,7 +489,11 @@ mod tests {
         let best = peak_gain_cdf(&crate::PAPER_OFFSETS_HZ[..5], 150, 2048, 6);
         let worst = peak_gain_cdf(&[0.0, 1.0, 2.0, 3.0, 4.0], 150, 2048, 6);
         // Best: 90 % of trials above 0.85·25.
-        assert!(best.eval(21.25) < 0.2, "best CDF at 21.25: {}", best.eval(21.25));
+        assert!(
+            best.eval(21.25) < 0.2,
+            "best CDF at 21.25: {}",
+            best.eval(21.25)
+        );
         // Worst: most trials below that.
         assert!(worst.quantile(0.5).unwrap() < best.quantile(0.5).unwrap());
     }

@@ -4,18 +4,16 @@
 //! of the peak envelope over random phase draws, subject to the Eq. 9 RMS
 //! constraint. The paper solves this with a one-time Monte-Carlo
 //! simulation ("less than 5 mins in MATLAB"); we use seeded random-restart
-//! hill climbing, parallelized across restarts with crossbeam scoped
-//! threads. A worst-set search (same machinery, minimizing) provides
+//! hill climbing, parallelized across restarts on the `ivn-runtime` scoped
+//! worker pool. A worst-set search (same machinery, minimizing) provides
 //! Fig. 6's bad example.
 
 use crate::waveform::{rms_offset, CibEnvelope};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use ivn_runtime::rng::{Rng, StdRng};
 use std::f64::consts::TAU;
 
 /// Optimizer configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FreqSelConfig {
     /// Number of antennas N (tones including the zero-offset reference).
     pub n_antennas: usize,
@@ -63,7 +61,7 @@ impl FreqSelConfig {
 }
 
 /// A selected frequency plan with its score.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrequencyPlan {
     /// Offsets in Hz, first always 0, ascending.
     pub offsets_hz: Vec<f64>,
@@ -129,11 +127,7 @@ fn draw_feasible_set<R: Rng + ?Sized>(cfg: &FreqSelConfig, rng: &mut R) -> Vec<u
     }
 }
 
-fn climb(
-    cfg: &FreqSelConfig,
-    seed: u64,
-    maximize: bool,
-) -> FrequencyPlan {
+fn climb(cfg: &FreqSelConfig, seed: u64, maximize: bool) -> FrequencyPlan {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut current = draw_feasible_set(cfg, &mut rng);
     // Common random numbers: one evaluation seed reused for every
@@ -150,7 +144,7 @@ fn climb(
         // Perturb one non-reference offset.
         let idx = rng.random_range(1..current.len());
         let delta = *[1i64, -1, 2, -2, 5, -5, 11, -11, 23, -23]
-            .get(rng.random_range(0..10))
+            .get(rng.random_range(0..10usize))
             .expect("in range");
         let mut cand = current.clone();
         let newv = (cand[idx] as i64 + delta).clamp(1, cfg.max_offset_hz as i64) as u32;
@@ -163,7 +157,11 @@ fn climb(
             continue;
         }
         let s = eval(&cand);
-        let better = if maximize { s > best_score } else { s < best_score };
+        let better = if maximize {
+            s > best_score
+        } else {
+            s < best_score
+        };
         if better {
             best_score = s;
             current = cand;
@@ -192,24 +190,21 @@ pub fn pessimize(cfg: &FreqSelConfig, seed: u64) -> FrequencyPlan {
 }
 
 fn run_restarts(cfg: &FreqSelConfig, seed: u64, maximize: bool) -> FrequencyPlan {
-    let mut plans: Vec<FrequencyPlan> = Vec::with_capacity(cfg.restarts);
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..cfg.restarts)
-            .map(|r| {
-                let cfg = cfg.clone();
-                scope.spawn(move |_| climb(&cfg, seed.wrapping_add(r as u64 * 0x9E37), maximize))
-            })
-            .collect();
-        for h in handles {
-            plans.push(h.join().expect("restart thread panicked"));
-        }
-    })
-    .expect("scope failed");
+    // Each restart is seeded independently, so the pool's scheduling
+    // cannot affect the result — only how fast it arrives.
+    let restarts: Vec<u64> = (0..cfg.restarts as u64).collect();
+    let plans = ivn_runtime::par::par_map(&restarts, |_, &r| {
+        climb(cfg, seed.wrapping_add(r * 0x9E37), maximize)
+    });
     plans
         .into_iter()
         .max_by(|a, b| {
             let (x, y) = (a.expected_peak, b.expected_peak);
-            if maximize { x.total_cmp(&y) } else { y.total_cmp(&x) }
+            if maximize {
+                x.total_cmp(&y)
+            } else {
+                y.total_cmp(&x)
+            }
         })
         .expect("at least one restart")
 }

@@ -12,7 +12,6 @@
 use crate::cib::CibConfig;
 use ivn_dsp::complex::Complex64;
 use ivn_em::channel::ChannelModel;
-use serde::{Deserialize, Serialize};
 
 /// The 902–928 MHz ISM band hop set used by default: 13 centres on a
 /// 2 MHz grid.
@@ -21,7 +20,7 @@ pub fn ism_hop_set() -> Vec<f64> {
 }
 
 /// Result of a hop search.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HopDecision {
     /// The chosen centre frequency, Hz.
     pub carrier_hz: f64,
@@ -78,8 +77,7 @@ pub fn choose_center(
 mod tests {
     use super::*;
     use ivn_em::multipath::{MultipathChannel, Path};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ivn_runtime::rng::{Rng, StdRng};
 
     /// A two-ray channel with a deep notch exactly at `notch_hz`.
     fn notched_channel(notch_hz: f64, rng: &mut StdRng) -> MultipathChannel {

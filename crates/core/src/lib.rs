@@ -34,9 +34,8 @@ pub mod waveform;
 
 /// The frequency plan the paper's prototype used (§5): relative offsets in
 /// hertz from the 915 MHz band centre.
-pub const PAPER_OFFSETS_HZ: [f64; 10] = [
-    0.0, 7.0, 20.0, 49.0, 68.0, 73.0, 90.0, 113.0, 121.0, 137.0,
-];
+pub const PAPER_OFFSETS_HZ: [f64; 10] =
+    [0.0, 7.0, 20.0, 49.0, 68.0, 73.0, 90.0, 113.0, 121.0, 137.0];
 
 /// The paper's beamformer band centre.
 pub const BEAMFORMER_CARRIER_HZ: f64 = 915e6;

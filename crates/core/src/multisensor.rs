@@ -17,8 +17,7 @@ use ivn_rfid::commands::Command;
 use ivn_rfid::link::LinkParams;
 use ivn_rfid::reader::{QAlgorithm, Reader, SlotOutcome};
 use ivn_rfid::tag::Tag;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ivn_runtime::rng::Rng;
 
 /// One sensor in a deployment: identity, electrical spec and placement.
 #[derive(Debug, Clone)]
@@ -32,7 +31,7 @@ pub struct SensorDeployment {
 }
 
 /// Outcome for one sensor in a multi-sensor round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensorOutcome {
     /// The sensor's EPC.
     pub epc: u128,
@@ -124,8 +123,7 @@ pub fn run_campaign<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ivn_runtime::rng::StdRng;
 
     fn deployment(epc: u128, placement: Placement) -> SensorDeployment {
         SensorDeployment {
@@ -140,7 +138,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let cib = CibConfig::paper_prototype_n(8);
         let sensors: Vec<SensorDeployment> = (0..5)
-            .map(|i| deployment(0xE000 + i as u128, Placement::free_space(2.0 + i as f64 * 0.3)))
+            .map(|i| {
+                deployment(
+                    0xE000 + i as u128,
+                    Placement::free_space(2.0 + i as f64 * 0.3),
+                )
+            })
             .collect();
         let out = run_campaign(&mut rng, &cib, 37.0, &sensors, 40);
         assert_eq!(out.len(), 5);
@@ -183,13 +186,16 @@ mod tests {
     #[test]
     fn select_shrinks_rms_budget() {
         let link = LinkParams::paper_defaults();
-        let plain = eq9_rms_bound(0.5, link.command_duration_s(&Command::Query {
-            dr: ivn_rfid::commands::DivideRatio::Dr8,
-            m: ivn_rfid::commands::TagEncoding::Fm0,
-            trext: false,
-            session: ivn_rfid::commands::Session::S0,
-            q: 0,
-        }));
+        let plain = eq9_rms_bound(
+            0.5,
+            link.command_duration_s(&Command::Query {
+                dr: ivn_rfid::commands::DivideRatio::Dr8,
+                m: ivn_rfid::commands::TagEncoding::Fm0,
+                trext: false,
+                session: ivn_rfid::commands::Session::S0,
+                q: 0,
+            }),
+        );
         let with_select = select_rms_budget(&link, 32, 0.5);
         assert!(with_select < plain, "{with_select} vs {plain}");
         // A longer mask tightens further.

@@ -16,13 +16,12 @@ use ivn_dsp::complex::Complex64;
 use ivn_dsp::correlate::{best_match_real, coherent_average};
 use ivn_dsp::noise::AwgnSource;
 use ivn_rfid::fm0::Fm0;
+use ivn_runtime::rng::Rng;
 use ivn_sdr::adc::{Adc, SawFilter};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::f64::consts::TAU;
 
 /// Reader configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OobReaderConfig {
     /// Reader carrier, Hz (880 MHz in the paper).
     pub carrier_hz: f64,
@@ -81,7 +80,7 @@ impl OobReaderConfig {
 }
 
 /// One interfering CIB tone as seen at the reader antenna.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JamTone {
     /// Absolute frequency, Hz.
     pub freq_hz: f64,
@@ -92,7 +91,7 @@ pub struct JamTone {
 }
 
 /// Result of one decode attempt.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecodeResult {
     /// Best preamble correlation found.
     pub correlation: f64,
@@ -229,8 +228,7 @@ impl OobReader {
         // AGC: the variable-gain stage scales the *front-end* signal to a
         // quarter of the ADC range. A strong blocker therefore steals
         // resolution from the wanted signal — the §4 desensitization.
-        let rms = (frontend.iter().map(|s| s.norm_sqr()).sum::<f64>()
-            / frontend.len() as f64)
+        let rms = (frontend.iter().map(|s| s.norm_sqr()).sum::<f64>() / frontend.len() as f64)
             .sqrt()
             .max(1e-30);
         let agc_gain = 0.25 * cfg.adc.full_scale / rms;
@@ -243,8 +241,7 @@ impl OobReader {
             converted.push(q * (1.0 / agc_gain) + *dj);
         }
         let saturation = {
-            let scaled: Vec<Complex64> =
-                frontend.iter().map(|s| *s * agc_gain).collect();
+            let scaled: Vec<Complex64> = frontend.iter().map(|s| *s * agc_gain).collect();
             cfg.adc.saturation_fraction(&scaled)
         };
 
@@ -254,14 +251,12 @@ impl OobReader {
 
         // Remove the DC component (leak) and take the in-phase envelope
         // deviation for the real-valued correlator.
-        let mean: Complex64 =
-            averaged.iter().copied().sum::<Complex64>() / averaged.len() as f64;
+        let mean: Complex64 = averaged.iter().copied().sum::<Complex64>() / averaged.len() as f64;
         let real_env: Vec<f64> = averaged.iter().map(|s| (*s - mean).re).collect();
 
         // Correlate against the preamble template.
         let template = ivn_rfid::fm0::preamble_waveform(samples_per_half);
-        let (offset, correlation) = best_match_real(&real_env, &template)
-            .unwrap_or((0, 0.0));
+        let (offset, correlation) = best_match_real(&real_env, &template).unwrap_or((0, 0.0));
         let success = correlation >= cfg.correlation_threshold;
 
         // Decode the payload following the matched preamble.
@@ -290,8 +285,7 @@ impl OobReader {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ivn_runtime::rng::StdRng;
 
     fn rn16_bits(v: u16) -> Vec<bool> {
         (0..16).rev().map(|i| (v >> i) & 1 == 1).collect()
@@ -340,7 +334,11 @@ mod tests {
         let reader = OobReader::new(OobReaderConfig::in_band_ablation());
         let msg = rn16_bits(0x1234);
         let r = reader.receive_and_decode(&mut rng, 1e-4, &msg, 4, &jam_tones(0.05), 2000);
-        assert!(!r.success, "in-band decode should fail, corr {}", r.correlation);
+        assert!(
+            !r.success,
+            "in-band decode should fail, corr {}",
+            r.correlation
+        );
         // The AGC backs off for the blocker, crushing the signal below the
         // quantization floor — the §4 desensitization mechanism.
     }
@@ -357,8 +355,7 @@ mod tests {
         let mut many = OobReaderConfig::paper_defaults();
         many.averaging_periods = 64;
         let mut rng2 = StdRng::seed_from_u64(4);
-        let r64 =
-            OobReader::new(many).receive_and_decode(&mut rng2, 2.2e-6, &msg, 4, &[], 2000);
+        let r64 = OobReader::new(many).receive_and_decode(&mut rng2, 2.2e-6, &msg, 4, &[], 2000);
         assert!(
             r64.correlation > r1.correlation,
             "averaging did not help: {} vs {}",

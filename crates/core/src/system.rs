@@ -27,8 +27,7 @@ use ivn_rfid::commands::{Command, Session};
 use ivn_rfid::link::LinkParams;
 use ivn_rfid::pie;
 use ivn_rfid::tag::{Tag, TagReply};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ivn_runtime::rng::Rng;
 
 /// Full-system configuration.
 #[derive(Debug, Clone)]
@@ -66,7 +65,7 @@ impl SystemConfig {
 }
 
 /// Outcome of one end-to-end session.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionOutcome {
     /// The chip reached its operating voltage.
     pub powered: bool,
@@ -175,11 +174,8 @@ impl IvnSystem {
         // Reader illumination of the tag at 880 MHz (same EIRP budget).
         let orient = cfg.tag.antenna.orientation_factor(trial.orientation)
             / cfg.tag.antenna.orientation_factor(0.0);
-        let p_reader_at_tag = placement.nominal_rx_power(
-            &cfg.tag,
-            eirp_w,
-            cfg.reader.carrier_hz,
-        ) * orient;
+        let p_reader_at_tag =
+            placement.nominal_rx_power(&cfg.tag, eirp_w, cfg.reader.carrier_hz) * orient;
         // Reverse path: fractional loss for 1 W of re-radiated EIRP.
         let reverse_loss =
             placement.nominal_rx_power(&cfg.tag, 1.0, cfg.reader.carrier_hz) * orient;
@@ -201,8 +197,9 @@ impl IvnSystem {
             })
             .collect();
 
-        let samples_per_half =
-            ((cfg.reader.sample_rate / cfg.link.blf_hz()) / 2.0).round().max(1.0) as usize;
+        let samples_per_half = ((cfg.reader.sample_rate / cfg.link.blf_hz()) / 2.0)
+            .round()
+            .max(1.0) as usize;
         let period_samples = (cfg.reader.sample_rate * 0.02) as usize; // 20 ms windows
         let reader = OobReader::new(cfg.reader.clone());
         let result: DecodeResult = reader.receive_and_decode(
@@ -232,12 +229,7 @@ impl IvnSystem {
     }
 
     /// Largest water depth (m) at which a session still succeeds.
-    pub fn max_depth_water<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        hi_m: f64,
-        repeats: usize,
-    ) -> f64 {
+    pub fn max_depth_water<R: Rng + ?Sized>(&self, rng: &mut R, hi_m: f64, repeats: usize) -> f64 {
         self.bisect(rng, 0.0, hi_m, repeats, |d| Placement::water_tank(d))
     }
 
@@ -274,8 +266,7 @@ impl IvnSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ivn_runtime::rng::StdRng;
 
     #[test]
     fn close_range_session_succeeds_end_to_end() {

@@ -15,9 +15,7 @@
 
 use crate::freqsel::{feasible, FreqSelConfig, FrequencyPlan};
 use crate::waveform::CibEnvelope;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use ivn_runtime::rng::{Rng, StdRng};
 use std::f64::consts::TAU;
 
 /// Monte-Carlo estimate of the expected fraction of the period the
@@ -46,7 +44,7 @@ pub fn expected_duty<R: Rng + ?Sized>(
 }
 
 /// Result of a stage-2 optimization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SteadyPlan {
     /// Offsets, first always 0, ascending.
     pub offsets_hz: Vec<f64>,
@@ -77,7 +75,7 @@ pub fn optimize_duty(cfg: &FreqSelConfig, threshold: f64, seed: u64) -> SteadyPl
         for _ in 0..cfg.iterations {
             let idx = rng.random_range(1..current.len());
             let delta = *[1i64, -1, 2, -2, 5, -5, 13, -13]
-                .get(rng.random_range(0..8))
+                .get(rng.random_range(0..8usize))
                 .expect("in range");
             let mut cand = current.clone();
             let newv = (cand[idx] as i64 + delta).clamp(1, cfg.max_offset_hz as i64) as u32;
@@ -102,7 +100,11 @@ pub fn optimize_duty(cfg: &FreqSelConfig, threshold: f64, seed: u64) -> SteadyPl
             expected_duty: score,
             threshold,
         };
-        if best.as_ref().map(|b| plan.expected_duty > b.expected_duty).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|b| plan.expected_duty > b.expected_duty)
+            .unwrap_or(true)
+        {
             best = Some(plan);
         }
     }
@@ -110,7 +112,7 @@ pub fn optimize_duty(cfg: &FreqSelConfig, threshold: f64, seed: u64) -> SteadyPl
 }
 
 /// The two-stage controller.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TwoStageCib {
     /// Stage-1 peak-optimized plan (Eq. 10).
     pub discovery: FrequencyPlan,

@@ -175,8 +175,7 @@ pub fn eq9_rms_bound(alpha: f64, dt_s: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::PAPER_OFFSETS_HZ;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ivn_runtime::rng::{Rng, StdRng};
 
     #[test]
     fn aligned_phases_peak_at_n() {
@@ -219,7 +218,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let phases: Vec<f64> = (0..5).map(|_| rng.random::<f64>() * TAU).collect();
         let a = CibEnvelope::new(&[0.0, 7.0, 20.0, 49.0, 68.0], &phases);
-        let shifted: Vec<f64> = [0.0, 7.0, 20.0, 49.0, 68.0].iter().map(|f| f + 3.0).collect();
+        let shifted: Vec<f64> = [0.0, 7.0, 20.0, 49.0, 68.0]
+            .iter()
+            .map(|f| f + 3.0)
+            .collect();
         let b = CibEnvelope::new(&shifted, &phases);
         let (_, ya) = a.peak_over_period(8192);
         let (_, yb) = b.peak_over_period(8192);

@@ -5,12 +5,12 @@ use ivn_core::freqsel::{expected_peak, feasible};
 use ivn_core::twostage::expected_duty;
 use ivn_core::waveform::{eq9_rms_bound, rms_offset, CibEnvelope};
 use ivn_dsp::complex::Complex64;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ivn_runtime::prop::{any, btree_set, vec as pvec, Just, Strategy};
+use ivn_runtime::rng::StdRng;
+use ivn_runtime::{prop_assert, prop_assert_eq, props};
 
 fn offsets() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::btree_set(1u32..300, 1..9).prop_map(|set| {
+    btree_set(1u32..300, 1..9).prop_map(|set| {
         std::iter::once(0.0)
             .chain(set.into_iter().map(|v| v as f64))
             .collect()
@@ -18,13 +18,12 @@ fn offsets() -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn phases(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0f64..std::f64::consts::TAU, n..=n)
+    pvec(0.0f64..std::f64::consts::TAU, n..=n)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    cases = 64;
 
-    #[test]
     fn envelope_bounded_by_tone_count((offs, ph) in offsets().prop_flat_map(|o| {
         let n = o.len();
         (Just(o), phases(n))
@@ -33,7 +32,6 @@ proptest! {
         prop_assert!(env.envelope(t) <= env.n() as f64 + 1e-9);
     }
 
-    #[test]
     fn peak_at_least_one_tone((offs, ph) in offsets().prop_flat_map(|o| {
         let n = o.len();
         (Just(o), phases(n))
@@ -45,7 +43,6 @@ proptest! {
         prop_assert!(y >= (env.n() as f64).sqrt() - 1e-6, "peak {y} for n={}", env.n());
     }
 
-    #[test]
     fn peak_power_between_static_and_mrt((offs, ph) in offsets().prop_flat_map(|o| {
         let n = o.len();
         (Just(o), phases(n))
@@ -60,7 +57,6 @@ proptest! {
         prop_assert!(peak <= (n * n) as f64 + 1e-6);
     }
 
-    #[test]
     fn expected_peak_within_bounds(offs in offsets(), seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let e = expected_peak(&offs, 8, 256, &mut rng);
@@ -69,7 +65,6 @@ proptest! {
         prop_assert!(e <= n + 1e-9, "E[peak] {e} above N");
     }
 
-    #[test]
     fn duty_antitone_in_threshold(offs in offsets(), seed in any::<u64>(),
                                   thr in 0.0f64..5.0, extra in 0.0f64..5.0) {
         let mut r1 = StdRng::seed_from_u64(seed);
@@ -80,7 +75,6 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&d_low));
     }
 
-    #[test]
     fn rms_scale_invariance(offs in offsets(), k in 1.0f64..10.0) {
         let scaled: Vec<f64> = offs.iter().map(|f| f * k).collect();
         prop_assert!((rms_offset(&scaled) - k * rms_offset(&offs)).abs() < 1e-9);
@@ -93,12 +87,10 @@ proptest! {
         );
     }
 
-    #[test]
     fn eq9_bound_antitone_in_dt(alpha in 0.05f64..1.0, dt in 1e-5f64..1e-2, k in 1.1f64..10.0) {
         prop_assert!(eq9_rms_bound(alpha, dt * k) < eq9_rms_bound(alpha, dt));
     }
 
-    #[test]
     fn taylor_bound_is_a_lower_bound(offs in offsets(), dt in 0.0f64..5e-4) {
         // At an aligned peak (zero phases) the true envelope sits at or
         // above the Eq. 8 second-order bound.

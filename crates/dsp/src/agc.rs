@@ -9,7 +9,6 @@
 //!   use.
 
 use crate::complex::Complex64;
-use serde::{Deserialize, Serialize};
 
 /// Computes the single gain that scales a block's RMS to `target_rms`.
 ///
@@ -19,8 +18,7 @@ pub fn block_gain(block: &[Complex64], target_rms: f64) -> f64 {
     if block.is_empty() {
         return 1.0;
     }
-    let rms =
-        (block.iter().map(|s| s.norm_sqr()).sum::<f64>() / block.len() as f64).sqrt();
+    let rms = (block.iter().map(|s| s.norm_sqr()).sum::<f64>() / block.len() as f64).sqrt();
     if rms <= 0.0 {
         1.0
     } else {
@@ -30,7 +28,7 @@ pub fn block_gain(block: &[Complex64], target_rms: f64) -> f64 {
 
 /// A streaming AGC with asymmetric attack (fast when too loud) and decay
 /// (slow when too quiet) — the usual shape that protects the ADC first.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Agc {
     /// Target envelope amplitude at the output.
     pub target: f64,

@@ -7,10 +7,9 @@
 //! different rates.
 
 use crate::complex::Complex64;
-use serde::{Deserialize, Serialize};
 
 /// A buffer of complex baseband samples at a known sample rate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IqBuffer {
     samples: Vec<Complex64>,
     sample_rate: f64,

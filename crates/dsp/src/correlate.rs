@@ -58,9 +58,7 @@ pub fn normalized_xcorr(x: &[Complex64], y: &[Complex64]) -> Vec<f64> {
 /// Returns `(lag, coefficient)`; `None` when no valid lag exists.
 pub fn best_match(x: &[Complex64], y: &[Complex64]) -> Option<(usize, f64)> {
     let c = normalized_xcorr(x, y);
-    c.into_iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
+    c.into_iter().enumerate().max_by(|a, b| a.1.total_cmp(&b.1))
 }
 
 /// Normalized correlation of *real* sequences (e.g. an envelope against a
@@ -129,8 +127,7 @@ pub fn coherent_average(x: &[Complex64], period: usize, count: usize) -> Option<
 mod tests {
     use super::*;
     use crate::noise::AwgnSource;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ivn_runtime::rng::StdRng;
 
     fn c(re: f64) -> Complex64 {
         Complex64::from_real(re)
@@ -216,7 +213,10 @@ mod tests {
     fn best_match_real_finds_preamble() {
         // The paper's 12-bit preamble as a ±1 template inside a longer env.
         let preamble = [1., 1., 0., 1., 0., 0., 1., 0., 0., 0., 1., 1.];
-        let tpl: Vec<f64> = preamble.iter().map(|b| if *b > 0.5 { 1.0 } else { -1.0 }).collect();
+        let tpl: Vec<f64> = preamble
+            .iter()
+            .map(|b| if *b > 0.5 { 1.0 } else { -1.0 })
+            .collect();
         let mut x = vec![0.0; 40];
         for (i, v) in tpl.iter().enumerate() {
             x[13 + i] = *v * 0.4 + 0.5; // scaled + offset

@@ -175,10 +175,7 @@ mod tests {
     fn hysteresis_slicer() {
         let env = [0.0, 0.2, 0.8, 0.6, 0.4, 0.1, 0.9];
         let bits = slice_hysteresis(&env, 0.3, 0.7);
-        assert_eq!(
-            bits,
-            vec![false, false, true, true, true, false, true]
-        );
+        assert_eq!(bits, vec![false, false, true, true, true, false, true]);
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub fn ifft(data: &mut [Complex64]) {
 
 fn transform(data: &mut [Complex64], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "FFT length must be a power of two, got {n}"
+    );
     if n == 1 {
         return;
     }

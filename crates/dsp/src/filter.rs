@@ -258,11 +258,8 @@ mod tests {
         let input = osc.generate(512);
         let out = f.process_block(input.samples());
         // After the transient, amplitude should be ~1.
-        let steady: f64 = out[200..]
-            .iter()
-            .map(|s| s.norm())
-            .sum::<f64>()
-            / (out.len() - 200) as f64;
+        let steady: f64 =
+            out[200..].iter().map(|s| s.norm()).sum::<f64>() / (out.len() - 200) as f64;
         assert!((steady - 1.0).abs() < 0.01, "steady amplitude {steady}");
     }
 

@@ -66,8 +66,7 @@ mod tests {
     use crate::fft::fft;
     use crate::noise::AwgnSource;
     use crate::osc::Oscillator;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ivn_runtime::rng::StdRng;
 
     #[test]
     fn matches_direct_dft() {

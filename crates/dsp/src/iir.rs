@@ -5,12 +5,11 @@
 //! that pull the backscatter subcarrier out of the noise.
 
 use crate::complex::Complex64;
-use serde::{Deserialize, Serialize};
 use std::f64::consts::TAU;
 
 /// A direct-form-I biquad over complex samples:
 /// `y[n] = (b0·x[n] + b1·x[n-1] + b2·x[n-2] − a1·y[n-1] − a2·y[n-2]) / a0`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Biquad {
     b0: f64,
     b1: f64,
@@ -161,7 +160,7 @@ impl Biquad {
 
 /// A DC blocker: `y[n] = x[n] − x[n-1] + ρ·y[n-1]` — first-order, removes
 /// the reader's self-leak before correlation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DcBlocker {
     rho: f64,
     x1: Complex64,

@@ -31,7 +31,10 @@ pub fn apply_profile(signal: &mut [Complex64], profile: &[f64]) {
         return;
     }
     for (i, s) in signal.iter_mut().enumerate() {
-        let a = profile.get(i).copied().unwrap_or(*profile.last().expect("non-empty"));
+        let a = profile
+            .get(i)
+            .copied()
+            .unwrap_or(*profile.last().expect("non-empty"));
         *s *= a;
     }
 }
@@ -42,7 +45,12 @@ pub fn apply_profile(signal: &mut [Complex64], profile: &[f64]) {
 ///
 /// `depth = 1.0` is full OOK; Gen2 readers typically use 0.8–1.0 ("modulation
 /// depth" in the paper's §3).
-pub fn ook_waveform(bits: &[bool], samples_per_bit: usize, depth: f64, sample_rate: f64) -> IqBuffer {
+pub fn ook_waveform(
+    bits: &[bool],
+    samples_per_bit: usize,
+    depth: f64,
+    sample_rate: f64,
+) -> IqBuffer {
     assert!((0.0..=1.0).contains(&depth), "depth must be in [0,1]");
     let levels: Vec<f64> = bits
         .iter()

@@ -4,7 +4,7 @@
 //! RNGs so experiments are reproducible from a seed (DESIGN.md §5).
 
 use crate::complex::Complex64;
-use rand::Rng;
+use ivn_runtime::rng::Rng;
 use std::f64::consts::TAU;
 
 /// Complex additive white Gaussian noise with a configured average power.
@@ -131,16 +131,14 @@ pub fn measured_snr_db(clean: &[Complex64], noisy: &[Complex64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ivn_runtime::rng::StdRng;
 
     #[test]
     fn awgn_power_statistics() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut src = AwgnSource::new(2.0);
         let n = 200_000;
-        let measured: f64 =
-            (0..n).map(|_| src.sample(&mut rng).norm_sqr()).sum::<f64>() / n as f64;
+        let measured: f64 = (0..n).map(|_| src.sample(&mut rng).norm_sqr()).sum::<f64>() / n as f64;
         assert!((measured - 2.0).abs() < 0.05, "measured power {measured}");
         assert!((src.power() - 2.0).abs() < 1e-12);
     }
@@ -150,8 +148,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut src = AwgnSource::new(1.0);
         let n = 100_000;
-        let mean: Complex64 =
-            (0..n).map(|_| src.sample(&mut rng)).sum::<Complex64>() / n as f64;
+        let mean: Complex64 = (0..n).map(|_| src.sample(&mut rng)).sum::<Complex64>() / n as f64;
         assert!(mean.norm() < 0.02, "mean {}", mean.norm());
     }
 

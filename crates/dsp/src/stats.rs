@@ -3,8 +3,10 @@
 //! Every figure in the paper's evaluation is a median with 10th/90th
 //! percentile error bars or an empirical CDF; this module is the single
 //! implementation used by the bench harness, tests, and examples.
+//! [`Summary`] and [`Ecdf`] round-trip through the `ivn-runtime` JSON
+//! layer for machine-readable bench output.
 
-use serde::{Deserialize, Serialize};
+use ivn_runtime::json::{field, FromJson, Json, JsonError, ToJson};
 
 /// Percentile of a sample set by linear interpolation between closest
 /// ranks (the common "type 7" estimator).
@@ -50,7 +52,7 @@ pub fn std_dev(data: &[f64]) -> Option<f64> {
 }
 
 /// The paper's standard summary: median with 10th and 90th percentiles.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// 10th percentile.
     pub p10: f64,
@@ -73,16 +75,32 @@ impl Summary {
 
 impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{:.3} [{:.3}, {:.3}]",
-            self.median, self.p10, self.p90
-        )
+        write!(f, "{:.3} [{:.3}, {:.3}]", self.median, self.p10, self.p90)
+    }
+}
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("p10", self.p10.into()),
+            ("median", self.median.into()),
+            ("p90", self.p90.into()),
+        ])
+    }
+}
+
+impl FromJson for Summary {
+    fn from_json(value: &Json) -> Result<Summary, JsonError> {
+        Ok(Summary {
+            p10: field(value, "p10")?,
+            median: field(value, "median")?,
+            p90: field(value, "p90")?,
+        })
     }
 }
 
 /// An empirical cumulative distribution function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }
@@ -142,8 +160,22 @@ impl Ecdf {
     }
 }
 
+impl ToJson for Ecdf {
+    fn to_json(&self) -> Json {
+        Json::obj([("samples", self.sorted.clone().into())])
+    }
+}
+
+impl FromJson for Ecdf {
+    fn from_json(value: &Json) -> Result<Ecdf, JsonError> {
+        let samples: Vec<f64> = field(value, "samples")?;
+        // `new` re-sorts, so a hand-edited file still yields a valid ECDF.
+        Ok(Ecdf::new(samples))
+    }
+}
+
 /// A fixed-bin histogram over `[lo, hi)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -178,8 +210,7 @@ impl Histogram {
         } else if x >= self.hi {
             self.overflow += 1;
         } else {
-            let bin =
-                ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64) as usize;
+            let bin = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64) as usize;
             let last = self.counts.len() - 1;
             self.counts[bin.min(last)] += 1;
         }
@@ -293,5 +324,26 @@ mod tests {
     #[should_panic(expected = "invalid histogram bounds")]
     fn histogram_rejects_bad_bounds() {
         Histogram::new(5.0, 5.0, 3);
+    }
+
+    #[test]
+    fn summary_json_round_trip() {
+        let s = Summary::of(&[1.0, 2.5, 3.125, 4.0, 5.75]).unwrap();
+        let text = s.to_json().dump();
+        let back = Summary::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert!(Summary::from_json(&Json::obj([("p10", 1.0.into())])).is_err());
+    }
+
+    #[test]
+    fn ecdf_json_round_trip() {
+        let e = Ecdf::new(vec![3.0, 1.0, 0.1 + 0.2, -7.5e-3]);
+        let text = e.to_json().dump();
+        let back = Ecdf::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, e);
+        // Bit-exact samples after the trip through text.
+        for (a, b) in back.samples().iter().zip(e.samples()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -6,8 +6,6 @@
 //! compression point"). Centralizing the conversions here keeps every other
 //! module honest about which domain a number lives in.
 
-use serde::{Deserialize, Serialize};
-
 /// Speed of light in vacuum, m/s.
 pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
 
@@ -66,7 +64,7 @@ pub fn wavelength(freq_hz: f64) -> f64 {
 ///
 /// Newtype so that carrier frequencies, offsets and sample rates cannot be
 /// silently confused with other `f64` quantities in call signatures.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Hertz(pub f64);
 
 impl Hertz {
@@ -143,7 +141,7 @@ impl std::fmt::Display for Hertz {
 }
 
 /// A power level expressed in dBm.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Dbm(pub f64);
 
 impl Dbm {
@@ -177,7 +175,7 @@ impl std::fmt::Display for Dbm {
 /// The paper quotes tissue losses in dB/cm (2.3–6.9 dB/cm at ~1 GHz); the
 /// field attenuation constant α in 1/m follows as
 /// `α = loss_db_per_cm · 100 / (20·log₁₀e)`.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct DbPerCm(pub f64);
 
 impl DbPerCm {

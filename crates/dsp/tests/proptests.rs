@@ -11,24 +11,21 @@ use ivn_dsp::resample::interp_at;
 use ivn_dsp::stats::{percentile, Ecdf};
 use ivn_dsp::units::{db_to_linear, dbm_to_watts, linear_to_db, watts_to_dbm};
 use ivn_dsp::window::Window;
-use proptest::prelude::*;
+use ivn_runtime::prop::{any, vec as pvec, Strategy};
+use ivn_runtime::{prop_assert, prop_assert_eq, prop_assume, props};
 
 fn finite_f64(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
-    prop::num::f64::NORMAL.prop_map(move |x| {
-        let span = range.end - range.start;
-        range.start + x.abs().rem_euclid(1.0) * span
-    })
+    range
 }
 
 fn complex_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Complex64>> {
-    prop::collection::vec(
+    pvec(
         (finite_f64(-10.0..10.0), finite_f64(-10.0..10.0)).prop_map(|(r, i)| Complex64::new(r, i)),
         len,
     )
 }
 
-proptest! {
-    #[test]
+props! {
     fn complex_mul_commutes(a in finite_f64(-5.0..5.0), b in finite_f64(-5.0..5.0),
                             c in finite_f64(-5.0..5.0), d in finite_f64(-5.0..5.0)) {
         let x = Complex64::new(a, b);
@@ -36,13 +33,11 @@ proptest! {
         prop_assert!(((x * y) - (y * x)).norm() < 1e-9);
     }
 
-    #[test]
     fn complex_norm_triangle_inequality(a in complex_vec(2..3)) {
         let (x, y) = (a[0], a[1]);
         prop_assert!((x + y).norm() <= x.norm() + y.norm() + 1e-9);
     }
 
-    #[test]
     fn complex_polar_roundtrip(r in finite_f64(0.001..100.0), theta in finite_f64(-3.0..3.0)) {
         let z = Complex64::from_polar(r, theta);
         let (r2, t2) = z.to_polar();
@@ -50,13 +45,11 @@ proptest! {
         prop_assert!((theta - t2).abs() < 1e-9);
     }
 
-    #[test]
     fn db_conversions_invert(db in finite_f64(-120.0..120.0)) {
         prop_assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-9);
         prop_assert!((watts_to_dbm(dbm_to_watts(db)) - db).abs() < 1e-9);
     }
 
-    #[test]
     fn fft_roundtrip(data in complex_vec(1..65)) {
         let n = data.len().next_power_of_two();
         let mut padded = data.clone();
@@ -69,7 +62,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn fft_linearity(a in complex_vec(16..17), b in complex_vec(16..17)) {
         let mut fa = a.clone();
         let mut fb = b.clone();
@@ -82,7 +74,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn fir_is_linear(x in complex_vec(64..65), k in finite_f64(0.1..5.0)) {
         let taps = design_lowpass(100.0, 1000.0, 31, Window::Hamming);
         let mut f1 = FirFilter::new(taps.clone());
@@ -95,7 +86,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn fir_lowpass_response_bounded(cutoff in finite_f64(10.0..400.0)) {
         let taps = design_lowpass(cutoff, 1000.0, 63, Window::Hamming);
         // Passband/stopband gains never exceed 1 + small ripple.
@@ -105,10 +95,9 @@ proptest! {
         }
     }
 
-    #[test]
     fn multitone_envelope_never_exceeds_amplitude_sum(
-        freqs in prop::collection::vec(0i64..200, 1..8),
-        phases in prop::collection::vec(finite_f64(0.0..6.28), 8),
+        freqs in pvec(0i64..200, 1..8),
+        phases in pvec(finite_f64(0.0..6.28), 8),
         t in finite_f64(0.0..1.0),
     ) {
         let f: Vec<f64> = freqs.iter().map(|&x| x as f64).collect();
@@ -116,9 +105,8 @@ proptest! {
         prop_assert!(mt.envelope(t) <= mt.amplitude_sum() + 1e-9);
     }
 
-    #[test]
     fn multitone_fluctuation_in_unit_range(
-        freqs in prop::collection::vec(1i64..100, 2..6),
+        freqs in pvec(1i64..100, 2..6),
     ) {
         let mut f: Vec<f64> = freqs.iter().map(|&x| x as f64).collect();
         f[0] = 0.0;
@@ -129,8 +117,7 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&fl));
     }
 
-    #[test]
-    fn ook_roundtrip_any_bits(bits in prop::collection::vec(any::<bool>(), 4..64)) {
+    fn ook_roundtrip_any_bits(bits in pvec(any::<bool>(), 4..64)) {
         // Roundtrip only well-defined when both symbols appear.
         prop_assume!(bits.iter().any(|&b| b) && bits.iter().any(|&b| !b));
         let buf = ook_waveform(&bits, 8, 1.0, 1000.0);
@@ -138,7 +125,6 @@ proptest! {
         prop_assert_eq!(out, bits);
     }
 
-    #[test]
     fn best_match_self_is_perfect(x in complex_vec(8..32)) {
         prop_assume!(x.iter().map(|s| s.norm_sqr()).sum::<f64>() > 1e-9);
         let (lag, coeff) = best_match(&x, &x).unwrap();
@@ -146,7 +132,6 @@ proptest! {
         prop_assert!((coeff - 1.0).abs() < 1e-9);
     }
 
-    #[test]
     fn coherent_average_of_identical_reps_is_identity(
         template in complex_vec(4..16), reps in 1usize..6,
     ) {
@@ -160,8 +145,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn percentile_within_minmax(data in prop::collection::vec(finite_f64(-100.0..100.0), 1..50),
+    fn percentile_within_minmax(data in pvec(finite_f64(-100.0..100.0), 1..50),
                                 p in finite_f64(0.0..100.0)) {
         let v = percentile(&data, p).unwrap();
         let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -169,16 +153,14 @@ proptest! {
         prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
     }
 
-    #[test]
-    fn percentile_monotone_in_p(data in prop::collection::vec(finite_f64(-10.0..10.0), 2..40)) {
+    fn percentile_monotone_in_p(data in pvec(finite_f64(-10.0..10.0), 2..40)) {
         let p25 = percentile(&data, 25.0).unwrap();
         let p50 = percentile(&data, 50.0).unwrap();
         let p75 = percentile(&data, 75.0).unwrap();
         prop_assert!(p25 <= p50 + 1e-12 && p50 <= p75 + 1e-12);
     }
 
-    #[test]
-    fn ecdf_is_monotone_cdf(data in prop::collection::vec(finite_f64(-10.0..10.0), 1..50)) {
+    fn ecdf_is_monotone_cdf(data in pvec(finite_f64(-10.0..10.0), 1..50)) {
         let e = Ecdf::new(data);
         let mut prev = 0.0;
         for x in [-20.0, -5.0, 0.0, 5.0, 20.0] {
@@ -190,8 +172,7 @@ proptest! {
         prop_assert_eq!(e.eval(1e12), 1.0);
     }
 
-    #[test]
-    fn interp_between_neighbors(data in prop::collection::vec(finite_f64(-5.0..5.0), 2..20),
+    fn interp_between_neighbors(data in pvec(finite_f64(-5.0..5.0), 2..20),
                                 x in finite_f64(0.0..1.0)) {
         let idx = x * (data.len() - 1) as f64;
         let v = interp_at(&data, idx);

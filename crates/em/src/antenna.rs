@@ -8,10 +8,9 @@
 //! while the standard tag survives (§6.2).
 
 use ivn_dsp::units::db_to_linear;
-use serde::{Deserialize, Serialize};
 
 /// An antenna characterized by its gain and polarization behaviour.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Antenna {
     /// Descriptive name.
     pub name: String,
@@ -168,10 +167,16 @@ mod tests {
     fn mini_tag_harvests_far_less() {
         // Same field, same medium: power ratio equals aperture ratio (10 dB).
         let lambda = 0.05;
-        let p_std =
-            received_power(1.0, 50.0, Antenna::standard_tag().effective_aperture(lambda));
-        let p_mini =
-            received_power(1.0, 50.0, Antenna::miniature_tag().effective_aperture(lambda));
+        let p_std = received_power(
+            1.0,
+            50.0,
+            Antenna::standard_tag().effective_aperture(lambda),
+        );
+        let p_mini = received_power(
+            1.0,
+            50.0,
+            Antenna::miniature_tag().effective_aperture(lambda),
+        );
         assert!(p_std / p_mini > 9.9);
     }
 }

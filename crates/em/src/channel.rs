@@ -13,7 +13,7 @@
 use crate::layered::LayeredPath;
 use crate::multipath::MultipathChannel;
 use ivn_dsp::complex::Complex64;
-use rand::Rng;
+use ivn_runtime::rng::Rng;
 use std::f64::consts::TAU;
 
 /// Complex frequency response of a propagation channel.
@@ -150,7 +150,12 @@ impl ChannelEnsemble {
 
     /// Draws `n` blind channels of equal amplitude — the canonical
     /// Monte-Carlo ensemble of the paper's evaluation.
-    pub fn blind<R: Rng + ?Sized>(rng: &mut R, n: usize, amplitude: f64, reference_hz: f64) -> Self {
+    pub fn blind<R: Rng + ?Sized>(
+        rng: &mut R,
+        n: usize,
+        amplitude: f64,
+        reference_hz: f64,
+    ) -> Self {
         let channels = (0..n)
             .map(|_| {
                 Box::new(BlindChannel::draw(rng, amplitude, 0.0, reference_hz))
@@ -189,8 +194,7 @@ mod tests {
     use super::*;
     use crate::layered::single_medium_path;
     use crate::medium::Medium;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ivn_runtime::rng::StdRng;
 
     #[test]
     fn flat_channel_is_flat() {

@@ -1,9 +1,7 @@
 //! Minimal 3D geometry for antenna and sensor placement.
 
-use serde::{Deserialize, Serialize};
-
 /// A point (or vector) in 3D space, metres.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point3 {
     /// x coordinate (m).
     pub x: f64,

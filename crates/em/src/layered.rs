@@ -18,10 +18,9 @@ use crate::boundary::amplitude_transmittance;
 use crate::medium::Medium;
 use ivn_dsp::complex::Complex64;
 use ivn_dsp::units::SPEED_OF_LIGHT;
-use serde::{Deserialize, Serialize};
 
 /// One tissue layer: a medium and its thickness.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layer {
     /// The layer's medium.
     pub medium: Medium,
@@ -44,7 +43,7 @@ impl Layer {
 }
 
 /// A one-way propagation path: air gap followed by a stack of layers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayeredPath {
     /// Distance travelled in air before the first boundary, metres.
     pub air_distance_m: f64,
@@ -192,7 +191,7 @@ mod tests {
     fn phase_advances_with_distance() {
         let a = LayeredPath::free_space(1.0).response(F);
         let b = LayeredPath::free_space(1.0 + 0.3276 / 2.0).response(F); // half λ
-        // Half a wavelength → phase flip.
+                                                                         // Half a wavelength → phase flip.
         let dphi = (b * a.conj()).arg();
         assert!((dphi.abs() - std::f64::consts::PI).abs() < 0.01);
     }

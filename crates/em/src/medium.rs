@@ -18,11 +18,10 @@
 
 use ivn_dsp::complex::Complex64;
 use ivn_dsp::units::{VACUUM_PERMEABILITY, VACUUM_PERMITTIVITY};
-use serde::{Deserialize, Serialize};
 use std::f64::consts::TAU;
 
 /// A homogeneous, non-magnetic propagation medium.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Medium {
     /// Human-readable name used in experiment reports.
     pub name: String,
@@ -161,7 +160,8 @@ impl Medium {
         let omega = TAU * freq_hz;
         let eps = VACUUM_PERMITTIVITY * self.rel_permittivity;
         let tan_d = self.loss_tangent(freq_hz);
-        omega * (VACUUM_PERMEABILITY * eps / 2.0).sqrt()
+        omega
+            * (VACUUM_PERMEABILITY * eps / 2.0).sqrt()
             * ((1.0 + tan_d * tan_d).sqrt() - 1.0).sqrt()
     }
 
@@ -170,7 +170,8 @@ impl Medium {
         let omega = TAU * freq_hz;
         let eps = VACUUM_PERMITTIVITY * self.rel_permittivity;
         let tan_d = self.loss_tangent(freq_hz);
-        omega * (VACUUM_PERMEABILITY * eps / 2.0).sqrt()
+        omega
+            * (VACUUM_PERMEABILITY * eps / 2.0).sqrt()
             * ((1.0 + tan_d * tan_d).sqrt() + 1.0).sqrt()
     }
 

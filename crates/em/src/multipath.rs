@@ -7,12 +7,11 @@
 //! selective. Both behaviours emerge from this model.
 
 use ivn_dsp::complex::Complex64;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ivn_runtime::rng::Rng;
 use std::f64::consts::TAU;
 
 /// One propagation path.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Path {
     /// Absolute delay in seconds.
     pub delay_s: f64,
@@ -21,7 +20,7 @@ pub struct Path {
 }
 
 /// A multipath channel as a sum of discrete paths.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultipathChannel {
     paths: Vec<Path>,
 }
@@ -161,8 +160,7 @@ impl MultipathChannel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ivn_runtime::rng::StdRng;
 
     #[test]
     fn los_channel_flat_magnitude() {

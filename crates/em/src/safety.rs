@@ -6,14 +6,12 @@
 //! radiated power stays at the per-antenna budget while the *peak* clears
 //! the harvester threshold. These helpers quantify that argument.
 
-use serde::{Deserialize, Serialize};
-
 /// FCC Part 15.247 limit for 902–928 MHz ISM: 30 dBm transmit power into a
 /// 6 dBi antenna, i.e. 36 dBm EIRP.
 pub const FCC_EIRP_LIMIT_DBM: f64 = 36.0;
 
 /// A transmit-side power budget under evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TxBudget {
     /// Conducted power per antenna, dBm.
     pub per_antenna_dbm: f64,

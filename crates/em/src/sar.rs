@@ -8,7 +8,6 @@
 
 use crate::medium::Medium;
 
-
 /// FCC localized SAR limit for the general public: 1.6 W/kg (1 g avg).
 pub const FCC_LOCAL_SAR_LIMIT_W_PER_KG: f64 = 1.6;
 
@@ -78,10 +77,7 @@ mod tests {
     #[test]
     fn air_never_hits_sar_limit() {
         assert_eq!(local_sar(&Medium::air(), 1000.0), 0.0);
-        assert_eq!(
-            field_at_sar_limit(&Medium::air(), 1.6),
-            f64::INFINITY
-        );
+        assert_eq!(field_at_sar_limit(&Medium::air(), 1.6), f64::INFINITY);
     }
 
     #[test]

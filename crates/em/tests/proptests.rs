@@ -7,18 +7,17 @@ use ivn_em::layered::{single_medium_path, Layer, LayeredPath};
 use ivn_em::medium::Medium;
 use ivn_em::multipath::MultipathChannel;
 use ivn_em::sar::{averaged_sar, local_sar};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ivn_runtime::prop::Strategy;
+use ivn_runtime::rng::StdRng;
+use ivn_runtime::{prop_assert, props};
 
 fn medium() -> impl Strategy<Value = Medium> {
     (1.0f64..85.0, 0.0f64..3.0).prop_map(|(e, s)| Medium::new("prop", e, s))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+props! {
+    cases = 96;
 
-    #[test]
     fn reflection_magnitude_below_unity(m1 in medium(), m2 in medium(), f in 4e8f64..3e9) {
         let g = reflection(&m1, &m2, f);
         prop_assert!(g.norm() <= 1.0 + 1e-9);
@@ -26,7 +25,6 @@ proptest! {
         prop_assert!((g.norm_sqr() + t - 1.0).abs() < 1e-9);
     }
 
-    #[test]
     fn propagation_magnitude_decays(m in medium(), f in 4e8f64..3e9,
                                     d1 in 0.0f64..0.3, d2 in 0.0f64..0.3) {
         let (near, far) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
@@ -34,7 +32,6 @@ proptest! {
         prop_assert!(m.propagate(f, 0.0).norm() - 1.0 < 1e-12);
     }
 
-    #[test]
     fn layered_response_multiplicative_in_depth(m in medium(), f in 4e8f64..3e9,
                                                 d in 0.001f64..0.1) {
         // Two layers of the same medium equal one double-thickness layer.
@@ -48,14 +45,12 @@ proptest! {
         prop_assert!((a - b).norm() < 1e-9 * a.norm().max(1e-30));
     }
 
-    #[test]
     fn path_loss_positive_beyond_reference(m in medium(), air in 1.0f64..10.0,
                                            d in 0.0f64..0.1, f in 4e8f64..3e9) {
         let pl = single_medium_path(air, m, d).path_loss_db(f);
         prop_assert!(pl >= -1e-9, "negative path loss {pl}");
     }
 
-    #[test]
     fn multipath_mean_power_preserved(seed in 0u64..1000, n in 1usize..12,
                                       spread in 1e-9f64..1e-6, p in 0.01f64..10.0) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -64,7 +59,6 @@ proptest! {
         prop_assert!(ch.rms_delay_spread() >= 0.0);
     }
 
-    #[test]
     fn antenna_factors_bounded(theta in -7.0f64..7.0) {
         for ant in [Antenna::standard_tag(), Antenna::miniature_tag(), Antenna::reader_panel()] {
             let o = ant.orientation_factor(theta);
@@ -74,7 +68,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn received_power_linear_in_aperture(e in 0.01f64..100.0, eta in 10.0f64..400.0,
                                          a in 1e-6f64..0.1, k in 1.0f64..5.0) {
         let p1 = received_power(e, eta, a);
@@ -82,7 +75,6 @@ proptest! {
         prop_assert!((pk / p1 - k).abs() < 1e-9);
     }
 
-    #[test]
     fn geometry_distance_symmetric_triangle(ax in -5.0f64..5.0, ay in -5.0f64..5.0,
                                             bx in -5.0f64..5.0, by in -5.0f64..5.0,
                                             cx in -5.0f64..5.0, cy in -5.0f64..5.0) {
@@ -93,7 +85,6 @@ proptest! {
         prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
     }
 
-    #[test]
     fn sar_nonnegative_and_duty_bounded(m in medium(), e in 0.0f64..200.0,
                                         duty in 0.0f64..1.0) {
         let s = local_sar(&m, e);

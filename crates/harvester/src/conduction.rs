@@ -37,7 +37,11 @@ pub fn mean_duty(envelope: &[f64], vth: f64) -> f64 {
     if envelope.is_empty() {
         return 0.0;
     }
-    envelope.iter().map(|&v| conduction_duty(v, vth)).sum::<f64>() / envelope.len() as f64
+    envelope
+        .iter()
+        .map(|&v| conduction_duty(v, vth))
+        .sum::<f64>()
+        / envelope.len() as f64
 }
 
 /// Average rectified current (relative units) delivered by a diode over

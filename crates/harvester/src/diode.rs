@@ -5,13 +5,11 @@
 //! V_th — "usually between 200 mV and 400 mV" for standard IC processes.
 //! A smooth Shockley model is also provided for the efficiency curves.
 
-use serde::{Deserialize, Serialize};
-
 /// Thermal voltage kT/q at room temperature, volts.
 pub const THERMAL_VOLTAGE: f64 = 0.02585;
 
 /// A diode's current-voltage model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DiodeModel {
     /// Ideal rectifier: any positive voltage conducts losslessly.
     Ideal,

@@ -8,10 +8,8 @@
 //! its square (capped by a circuit ceiling). Zero below threshold — the
 //! fundamental cliff CIB exists to overcome.
 
-use serde::{Deserialize, Serialize};
-
 /// A threshold-limited efficiency model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EfficiencyModel {
     /// Diode threshold voltage, volts.
     pub vth: f64,

@@ -24,10 +24,9 @@
 
 use crate::diode::DiodeModel;
 use crate::rectifier::Rectifier;
-use serde::{Deserialize, Serialize};
 
 /// Electrical power-up profile of a battery-free tag.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TagPowerProfile {
     /// Descriptive name.
     pub name: String,
@@ -137,7 +136,7 @@ impl TagPowerProfile {
 }
 
 /// Result of a power-up attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerUpOutcome {
     /// Whether the chip reached its operating voltage.
     pub powered: bool,

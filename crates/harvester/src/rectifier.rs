@@ -14,10 +14,9 @@
 //! with an optional load — which is what the power-up decision integrates.
 
 use crate::diode::DiodeModel;
-use serde::{Deserialize, Serialize};
 
 /// A multi-stage charge-pump rectifier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Rectifier {
     /// Number of voltage-doubler stages.
     pub stages: usize,

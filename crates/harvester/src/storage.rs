@@ -5,10 +5,8 @@
 //! of sensing/backscatter (paper §2.3 and §3.7). This module tracks that
 //! energy ledger.
 
-use serde::{Deserialize, Serialize};
-
 /// A storage capacitor with leakage and a chip load.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StorageCap {
     /// Capacitance, farads.
     pub capacitance: f64,
@@ -54,7 +52,7 @@ impl StorageCap {
 
 /// A duty-cycle plan: harvest for `harvest_s`, then operate drawing
 /// `active_power_w` for `active_s`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DutyCycle {
     /// Harvesting window, seconds.
     pub harvest_s: f64,

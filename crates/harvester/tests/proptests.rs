@@ -6,32 +6,29 @@ use ivn_harvester::efficiency::EfficiencyModel;
 use ivn_harvester::powerup::TagPowerProfile;
 use ivn_harvester::rectifier::Rectifier;
 use ivn_harvester::storage::StorageCap;
-use proptest::prelude::*;
+use ivn_runtime::prop::{Just, Strategy};
+use ivn_runtime::{prop_assert, prop_assert_eq, prop_oneof, props};
 
 fn diode() -> impl Strategy<Value = DiodeModel> {
     prop_oneof![
         Just(DiodeModel::Ideal),
-        (0.05f64..0.5, 1.0f64..200.0)
-            .prop_map(|(vth, r_on)| DiodeModel::Threshold { vth, r_on }),
+        (0.05f64..0.5, 1.0f64..200.0).prop_map(|(vth, r_on)| DiodeModel::Threshold { vth, r_on }),
         (1e-12f64..1e-6, 1.0f64..2.0)
             .prop_map(|(i_sat, ideality)| DiodeModel::Shockley { i_sat, ideality }),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+props! {
+    cases = 96;
 
-    #[test]
     fn diode_current_monotone(d in diode(), v1 in -1.0f64..2.0, dv in 0.0f64..2.0) {
         prop_assert!(d.current(v1 + dv) >= d.current(v1) - 1e-15);
     }
 
-    #[test]
     fn diode_blocks_reverse(d in diode(), v in 0.0f64..2.0) {
         prop_assert!(d.current(-v) <= 1e-12);
     }
 
-    #[test]
     fn conduction_angle_bounds(vs in 0.0f64..10.0, vth in 0.0f64..0.5) {
         let w = conduction_angle(vs, vth);
         prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&w));
@@ -42,13 +39,11 @@ proptest! {
         }
     }
 
-    #[test]
     fn conduction_angle_monotone_in_drive(vth in 0.01f64..0.5,
                                           vs in 0.0f64..5.0, dv in 0.0f64..5.0) {
         prop_assert!(conduction_angle(vs + dv, vth) >= conduction_angle(vs, vth));
     }
 
-    #[test]
     fn cycle_current_nonnegative_monotone(d in diode(), vs in 0.0f64..3.0, dv in 0.0f64..3.0) {
         let i1 = cycle_average_current(&d, vs);
         let i2 = cycle_average_current(&d, vs + dv);
@@ -56,7 +51,6 @@ proptest! {
         prop_assert!(i2 >= i1 - 1e-12);
     }
 
-    #[test]
     fn rectifier_output_nonnegative_and_linear_above_threshold(
         stages in 1usize..8, vs in 0.0f64..3.0,
     ) {
@@ -68,7 +62,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn rectifier_transient_never_exceeds_target(vs in 0.3f64..2.0, steps in 1usize..2000) {
         let r = Rectifier::new(3, DiodeModel::typical_rfid(), 1000.0);
         let env = vec![vs; steps];
@@ -79,7 +72,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn efficiency_in_unit_range_monotone(vth in 0.05f64..0.4, eta in 0.05f64..1.0,
                                          vs in 0.0f64..5.0, dv in 0.0f64..5.0) {
         let m = EfficiencyModel::new(vth, eta);
@@ -89,7 +81,6 @@ proptest! {
         prop_assert!(e2 >= e1 - 1e-12);
     }
 
-    #[test]
     fn storage_energy_conserved_without_flows(c in 1e-9f64..1e-5, v in 0.0f64..5.0,
                                               dt in 1e-6f64..1.0) {
         let cap = StorageCap::new(c, f64::INFINITY);
@@ -97,7 +88,6 @@ proptest! {
         prop_assert!((v2 - v).abs() < 1e-9);
     }
 
-    #[test]
     fn storage_charging_monotone(c in 1e-9f64..1e-6, p in 0.0f64..1e-3,
                                  extra in 0.0f64..1e-3, dt in 1e-6f64..0.01) {
         let cap = StorageCap::new(c, f64::INFINITY);
@@ -106,7 +96,6 @@ proptest! {
         prop_assert!(v2 >= v1 - 1e-12);
     }
 
-    #[test]
     fn powerup_requires_threshold(p_dbm in -40.0f64..20.0) {
         // The analytic gate is consistent: below static sensitivity the
         // chip can never wake regardless of exposure duration.
@@ -119,7 +108,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn time_to_power_decreases_with_power(p1_dbm in -8.0f64..10.0, extra_db in 0.1f64..20.0) {
         let tag = TagPowerProfile::standard_tag();
         let p1 = ivn_dsp::units::dbm_to_watts(p1_dbm);

@@ -15,10 +15,9 @@
 //!    undecodable.
 
 use ivn_dsp::complex::Complex64;
-use serde::{Deserialize, Serialize};
 
 /// A tag's two-state reflection modulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BackscatterModulator {
     /// Reflection coefficient in state A ("absorb").
     pub gamma_a: Complex64,
@@ -41,10 +40,7 @@ impl BackscatterModulator {
 
     /// A typical RFID ASK modulator: matched (Γ≈0.1) vs shorted (Γ≈0.8).
     pub fn typical_rfid() -> Self {
-        BackscatterModulator::new(
-            Complex64::from_real(0.1),
-            Complex64::from_real(0.8),
-        )
+        BackscatterModulator::new(Complex64::from_real(0.1), Complex64::from_real(0.8))
     }
 
     /// Γ for a given baseband level (`false` = state A, `true` = state B).

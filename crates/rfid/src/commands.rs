@@ -6,10 +6,9 @@
 //! (the multi-sensor addressing mechanism §3.7 suggests).
 
 use crate::crc::{append_crc16, append_crc5, bits_to_u64, check_crc16, check_crc5};
-use serde::{Deserialize, Serialize};
 
 /// Divide-ratio field of Query (sets BLF together with TRcal).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DivideRatio {
     /// DR = 8.
     Dr8,
@@ -28,7 +27,7 @@ impl DivideRatio {
 }
 
 /// Tag→reader modulation format requested by Query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TagEncoding {
     /// FM0 baseband (the paper's configuration).
     Fm0,
@@ -61,7 +60,7 @@ impl TagEncoding {
 }
 
 /// Inventory session flag (S0–S3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Session {
     /// Session 0.
     S0,
@@ -94,7 +93,7 @@ impl Session {
 }
 
 /// A reader command.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Opens an inventory round with 2^q slots.
     Query {
@@ -214,7 +213,7 @@ impl Command {
             }
             Command::Select { mask } => {
                 let mut bits = vec![true, false, true, false]; // opcode 1010
-                // 8-bit mask length then the mask itself.
+                                                               // 8-bit mask length then the mask itself.
                 assert!(mask.len() <= 255, "mask too long");
                 for i in (0..8).rev() {
                     bits.push((mask.len() as u8 >> i) & 1 == 1);

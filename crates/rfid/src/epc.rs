@@ -6,13 +6,11 @@
 //! partition / company / item / serial) and round-trip them through the
 //! air interface.
 
-use serde::{Deserialize, Serialize};
-
 /// The SGTIN-96 header byte.
 pub const SGTIN96_HEADER: u8 = 0x30;
 
 /// A parsed SGTIN-96 EPC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sgtin96 {
     /// Filter value (0–7): packaging level.
     pub filter: u8,
@@ -27,8 +25,15 @@ pub struct Sgtin96 {
 }
 
 /// Bit widths of (company, item) for each partition value.
-const PARTITION_WIDTHS: [(u32, u32); 7] =
-    [(40, 4), (37, 7), (34, 10), (30, 14), (27, 17), (24, 20), (20, 24)];
+const PARTITION_WIDTHS: [(u32, u32); 7] = [
+    (40, 4),
+    (37, 7),
+    (34, 10),
+    (30, 14),
+    (27, 17),
+    (24, 20),
+    (20, 24),
+];
 
 /// Errors from EPC parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,9 +138,7 @@ impl Sgtin96 {
 /// Select mask on the shared prefix addresses the whole family.
 pub fn allocate_family(company: u64, item: u32, count: usize) -> Vec<Sgtin96> {
     (0..count)
-        .map(|k| {
-            Sgtin96::new(1, 5, company, item, k as u64).expect("family parameters valid")
-        })
+        .map(|k| Sgtin96::new(1, 5, company, item, k as u64).expect("family parameters valid"))
         .collect()
 }
 
@@ -151,7 +154,11 @@ mod tests {
             let item = if iw >= 2 { (1u32 << (iw - 1)) | 1 } else { 1 };
             let epc = Sgtin96::new(3, partition, company, item, 123_456).unwrap();
             let packed = epc.encode();
-            assert_eq!(Sgtin96::decode(packed).unwrap(), epc, "partition {partition}");
+            assert_eq!(
+                Sgtin96::decode(packed).unwrap(),
+                epc,
+                "partition {partition}"
+            );
         }
     }
 
@@ -171,24 +178,15 @@ mod tests {
 
     #[test]
     fn rejects_invalid() {
-        assert_eq!(
-            Sgtin96::new(0, 7, 1, 1, 1),
-            Err(EpcError::BadPartition)
-        );
-        assert_eq!(
-            Sgtin96::new(9, 0, 1, 1, 1),
-            Err(EpcError::FieldOverflow)
-        );
+        assert_eq!(Sgtin96::new(0, 7, 1, 1, 1), Err(EpcError::BadPartition));
+        assert_eq!(Sgtin96::new(9, 0, 1, 1, 1), Err(EpcError::FieldOverflow));
         // Serial too wide.
         assert_eq!(
             Sgtin96::new(0, 0, 1, 1, 1u64 << 38),
             Err(EpcError::FieldOverflow)
         );
         // Item too wide for partition 0 (4 bits).
-        assert_eq!(
-            Sgtin96::new(0, 0, 1, 16, 1),
-            Err(EpcError::FieldOverflow)
-        );
+        assert_eq!(Sgtin96::new(0, 0, 1, 16, 1), Err(EpcError::FieldOverflow));
         // Wrong header.
         assert_eq!(Sgtin96::decode(0), Err(EpcError::WrongHeader));
     }

@@ -9,10 +9,8 @@
 //! declares success above a correlation of 0.8; [`preamble_waveform`] and
 //! [`ivn_dsp::correlate::best_match_real`] reproduce that exact pipeline.
 
-use serde::{Deserialize, Serialize};
-
 /// FM0 encoder state and parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fm0 {
     /// Samples per half-symbol when rasterizing.
     pub samples_per_half: usize,

@@ -8,10 +8,9 @@
 
 use crate::commands::{Command, DivideRatio};
 use crate::pie::PieParams;
-use serde::{Deserialize, Serialize};
 
 /// Complete link parameter set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkParams {
     /// Downlink PIE timing.
     pub pie: PieParams,
@@ -154,10 +153,7 @@ mod tests {
         // 28 symbols at ~120 kHz ≈ 233 µs.
         assert!((rn16 - 28.0 / lp.blf_hz()).abs() < 1e-12);
         // Miller-4 quadruples symbol time.
-        let m4 = LinkParams {
-            miller_m: 4,
-            ..lp
-        };
+        let m4 = LinkParams { miller_m: 4, ..lp };
         assert!((m4.uplink_duration_s(16, 12) / rn16 - 4.0).abs() < 1e-9);
     }
 

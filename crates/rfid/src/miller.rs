@@ -7,10 +7,8 @@
 //! operates at, so the codec is included even though the paper's trials
 //! used FM0.
 
-use serde::{Deserialize, Serialize};
-
 /// Miller codec with M subcarrier cycles per symbol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Miller {
     /// Subcarrier cycles per symbol: 2, 4, or 8.
     pub m: usize,

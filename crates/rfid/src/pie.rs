@@ -11,10 +11,8 @@
 //! samples by notch-interval measurement — exactly how a tag's envelope
 //! detector does it.
 
-use serde::{Deserialize, Serialize};
-
 /// PIE timing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PieParams {
     /// Reference interval Tari (duration of data-0), seconds. Gen2 allows
     /// 6.25–25 µs.
@@ -170,7 +168,10 @@ pub fn decode_frame(envelope: &[f64], sample_rate: f64) -> Result<Vec<bool>, Pie
         return Err(PieError::NoPreamble);
     }
     let dt = 1.0 / sample_rate;
-    let intervals: Vec<f64> = edges.windows(2).map(|w| (w[1] - w[0]) as f64 * dt).collect();
+    let intervals: Vec<f64> = edges
+        .windows(2)
+        .map(|w| (w[1] - w[0]) as f64 * dt)
+        .collect();
     // intervals[0] = delimiter + data-0 − PW (composite), intervals[1] = RTcal.
     let composite = intervals[0];
     let rtcal = intervals[1];
@@ -248,7 +249,10 @@ mod tests {
             decode_frame(&vec![1.0; 1000], FS),
             Err(PieError::NoPreamble)
         );
-        assert_eq!(decode_frame(&vec![0.0; 1000], FS), Err(PieError::NoPreamble));
+        assert_eq!(
+            decode_frame(&vec![0.0; 1000], FS),
+            Err(PieError::NoPreamble)
+        );
         assert_eq!(decode_frame(&[1.0; 4], FS), Err(PieError::TooShort));
     }
 

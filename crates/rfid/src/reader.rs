@@ -10,10 +10,9 @@
 
 use crate::commands::{Command, DivideRatio, Session, TagEncoding};
 use crate::tag::{Tag, TagReply};
-use serde::{Deserialize, Serialize};
 
 /// Outcome of one slot.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SlotOutcome {
     /// No tag replied.
     Empty,
@@ -24,7 +23,7 @@ pub enum SlotOutcome {
 }
 
 /// Q-algorithm parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QAlgorithm {
     /// Initial Q.
     pub q0: u8,
@@ -39,7 +38,7 @@ impl Default for QAlgorithm {
 }
 
 /// Inventory statistics for one round.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RoundStats {
     /// Slots with no reply.
     pub empty: usize,

@@ -13,12 +13,10 @@
 //!   command with a non-matching EPC prefix parks the tag for the round.
 
 use crate::commands::{Command, Session};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use ivn_runtime::rng::{Rng, StdRng};
 
 /// Inventory state of a powered tag.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TagState {
     /// Powered, waiting for a Query.
     Ready,
@@ -33,7 +31,7 @@ pub enum TagState {
 }
 
 /// What a tag transmits in response to a command.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TagReply {
     /// Nothing.
     Silent,
@@ -130,7 +128,11 @@ impl Tag {
                 // Non-matching prefix parks the tag; matching (or empty)
                 // un-parks it.
                 let matches = mask.len() <= self.epc.len() && self.epc[..mask.len()] == mask[..];
-                self.state = if matches { TagState::Ready } else { TagState::Parked };
+                self.state = if matches {
+                    TagState::Ready
+                } else {
+                    TagState::Parked
+                };
                 TagReply::Silent
             }
             Command::Query { session, q, .. } => {

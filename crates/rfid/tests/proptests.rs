@@ -7,7 +7,8 @@ use ivn_rfid::fm0::Fm0;
 use ivn_rfid::miller::Miller;
 use ivn_rfid::pie::{decode_frame, encode_frame, rasterize, PieParams};
 use ivn_rfid::tag::{Tag, TagReply};
-use proptest::prelude::*;
+use ivn_runtime::prop::{any, vec as pvec, Just, Strategy};
+use ivn_runtime::{prop_assert, prop_assert_eq, prop_oneof, props};
 
 fn session() -> impl Strategy<Value = Session> {
     prop_oneof![
@@ -29,35 +30,42 @@ fn encoding() -> impl Strategy<Value = TagEncoding> {
 
 fn any_command() -> impl Strategy<Value = Command> {
     prop_oneof![
-        (any::<bool>(), encoding(), any::<bool>(), session(), 0u8..=15).prop_map(
-            |(dr, m, trext, session, q)| Command::Query {
-                dr: if dr { DivideRatio::Dr64Over3 } else { DivideRatio::Dr8 },
+        (
+            any::<bool>(),
+            encoding(),
+            any::<bool>(),
+            session(),
+            0u8..=15
+        )
+            .prop_map(|(dr, m, trext, session, q)| Command::Query {
+                dr: if dr {
+                    DivideRatio::Dr64Over3
+                } else {
+                    DivideRatio::Dr8
+                },
                 m,
                 trext,
                 session,
                 q,
-            }
-        ),
+            }),
         session().prop_map(|session| Command::QueryRep { session }),
         (session(), -1i8..=1).prop_map(|(session, updn)| Command::QueryAdjust { session, updn }),
         any::<u16>().prop_map(|rn16| Command::Ack { rn16 }),
         any::<u16>().prop_map(|rn16| Command::ReqRn { rn16 }),
-        prop::collection::vec(any::<bool>(), 0..64).prop_map(|mask| Command::Select { mask }),
+        pvec(any::<bool>(), 0..64).prop_map(|mask| Command::Select { mask }),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+props! {
+    cases = 128;
 
-    #[test]
-    fn crc5_roundtrip(body in prop::collection::vec(any::<bool>(), 0..64)) {
+    fn crc5_roundtrip(body in pvec(any::<bool>(), 0..64)) {
         let mut framed = body;
         append_crc5(&mut framed);
         prop_assert!(check_crc5(&framed));
     }
 
-    #[test]
-    fn crc5_catches_single_flips(body in prop::collection::vec(any::<bool>(), 1..40),
+    fn crc5_catches_single_flips(body in pvec(any::<bool>(), 1..40),
                                  flip_seed in any::<u32>()) {
         let mut framed = body;
         append_crc5(&mut framed);
@@ -66,8 +74,7 @@ proptest! {
         prop_assert!(!check_crc5(&framed));
     }
 
-    #[test]
-    fn crc16_roundtrip_and_flip(body in prop::collection::vec(any::<bool>(), 0..120),
+    fn crc16_roundtrip_and_flip(body in pvec(any::<bool>(), 0..120),
                                 flip_seed in any::<u32>()) {
         let mut framed = body;
         append_crc16(&mut framed);
@@ -77,29 +84,25 @@ proptest! {
         prop_assert!(!check_crc16(&framed));
     }
 
-    #[test]
     fn command_codec_roundtrip(cmd in any_command()) {
         let bits = cmd.encode();
         prop_assert_eq!(Command::decode(&bits).expect("decode"), cmd);
     }
 
-    #[test]
-    fn fm0_roundtrip(bits in prop::collection::vec(any::<bool>(), 1..128),
+    fn fm0_roundtrip(bits in pvec(any::<bool>(), 1..128),
                      sph in 1usize..8) {
         let fm0 = Fm0::new(sph);
         prop_assert_eq!(fm0.decode(&fm0.encode(&bits)), bits);
     }
 
-    #[test]
-    fn miller_roundtrip(bits in prop::collection::vec(any::<bool>(), 1..64),
+    fn miller_roundtrip(bits in pvec(any::<bool>(), 1..64),
                         m_idx in 0usize..3, spq in 1usize..4) {
         let m = [2, 4, 8][m_idx];
         let codec = Miller::new(m, spq);
         prop_assert_eq!(codec.decode(&codec.encode(&bits)), bits);
     }
 
-    #[test]
-    fn pie_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..48),
+    fn pie_roundtrip(bits in pvec(any::<bool>(), 0..48),
                      with_trcal in any::<bool>(), depth in 0.6f64..1.0) {
         let p = PieParams::paper_defaults();
         let runs = encode_frame(&bits, &p, with_trcal);
@@ -107,7 +110,6 @@ proptest! {
         prop_assert_eq!(decode_frame(&env, 2e6).expect("pie decode"), bits);
     }
 
-    #[test]
     fn sgtin_roundtrip(filter in 0u8..8, partition in 0u8..7,
                        company in 0u64..1u64 << 20, item in 0u32..16,
                        serial in 0u64..1u64 << 38) {
@@ -116,8 +118,7 @@ proptest! {
         prop_assert_eq!(Sgtin96::decode(epc.encode()).expect("decode"), epc);
     }
 
-    #[test]
-    fn tag_never_replies_unpowered(cmds in prop::collection::vec(any_command(), 1..20),
+    fn tag_never_replies_unpowered(cmds in pvec(any_command(), 1..20),
                                    epc in 1u128..u128::MAX >> 32, seed in any::<u64>()) {
         let mut tag = Tag::with_epc96(epc, seed);
         for cmd in &cmds {
@@ -125,7 +126,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn tag_epc_reply_always_crc_valid(epc in 1u128..u128::MAX >> 32, seed in any::<u64>()) {
         let mut tag = Tag::with_epc96(epc, seed);
         tag.set_powered(true);

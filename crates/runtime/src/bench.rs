@@ -1,0 +1,183 @@
+//! A tiny wall-clock micro-benchmark harness.
+//!
+//! Replaces `criterion` for the workspace's `cargo bench` targets
+//! (declared with `harness = false`): each target's `main` builds a
+//! [`Bench`], registers closures, and the harness calibrates an iteration
+//! count per sample, takes several samples, and reports min / median /
+//! mean nanoseconds per iteration. [`Bench::to_json`] exposes the results
+//! through the [`json`](crate::json) layer for machine-readable output
+//! (`BENCH_runtime.json`).
+
+use crate::json::Json;
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimizer barrier used around benchmark inputs and
+/// results.
+pub use std::hint::black_box;
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per timing sample (after calibration).
+    pub iters_per_sample: u64,
+    /// Number of timing samples taken.
+    pub samples: usize,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Median sample, nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean over samples, nanoseconds per iteration.
+    pub mean_ns: f64,
+}
+
+impl BenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.as_str().into()),
+            ("iters_per_sample", (self.iters_per_sample as f64).into()),
+            ("samples", self.samples.into()),
+            ("min_ns", self.min_ns.into()),
+            ("median_ns", self.median_ns.into()),
+            ("mean_ns", self.mean_ns.into()),
+        ])
+    }
+}
+
+impl std::fmt::Display for BenchResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<40} {:>12} /iter (min {}, {} samples x {} iters)",
+            self.name,
+            fmt_ns(self.median_ns),
+            fmt_ns(self.min_ns),
+            self.samples,
+            self.iters_per_sample,
+        )
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A benchmark runner accumulating [`BenchResult`]s.
+pub struct Bench {
+    target_sample: Duration,
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bench {
+    /// A runner with the default budget: 9 samples of ≥ 10 ms each.
+    ///
+    /// Set `IVN_BENCH_FAST=1` to shrink the budget (3 samples of ≥ 1 ms)
+    /// for smoke runs.
+    pub fn new() -> Self {
+        let fast = std::env::var("IVN_BENCH_FAST").is_ok_and(|v| v == "1");
+        if fast {
+            Bench::with_budget(Duration::from_millis(1), 3)
+        } else {
+            Bench::with_budget(Duration::from_millis(10), 9)
+        }
+    }
+
+    /// A runner taking `samples` samples of at least `target_sample` each.
+    pub fn with_budget(target_sample: Duration, samples: usize) -> Self {
+        assert!(samples > 0);
+        Bench {
+            target_sample,
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, prints one summary line, and records the result.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) -> &BenchResult {
+        // Calibrate: double the iteration count until one sample meets the
+        // time budget.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Self::sample(&mut f, iters);
+            if t >= self.target_sample || iters >= 1 << 30 {
+                break;
+            }
+            // Jump close to the target, at least doubling.
+            let scale = self.target_sample.as_secs_f64() / t.as_secs_f64().max(1e-9);
+            iters = (iters * 2).max((iters as f64 * scale.min(100.0)) as u64);
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| Self::sample(&mut f, iters).as_secs_f64() * 1e9 / iters as f64)
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let result = BenchResult {
+            name: name.to_string(),
+            iters_per_sample: iters,
+            samples: self.samples,
+            min_ns: per_iter[0],
+            median_ns: per_iter[self.samples / 2],
+            mean_ns: per_iter.iter().sum::<f64>() / self.samples as f64,
+        };
+        println!("{result}");
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    fn sample<T, F: FnMut() -> T>(f: &mut F, iters: u64) -> Duration {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        start.elapsed()
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// The recorded results as a JSON array.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.results.iter().map(BenchResult::to_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_and_reports() {
+        let mut b = Bench::with_budget(Duration::from_micros(50), 3);
+        let r = b.bench("spin", || (0..100u64).sum::<u64>()).clone();
+        assert_eq!(r.name, "spin");
+        assert!(r.min_ns > 0.0 && r.min_ns <= r.median_ns);
+        assert_eq!(b.results().len(), 1);
+        let json = b.to_json().dump();
+        assert!(json.contains("\"name\":\"spin\""), "{json}");
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert!(fmt_ns(12.3).contains("ns"));
+        assert!(fmt_ns(12_300.0).contains("µs"));
+        assert!(fmt_ns(12_300_000.0).contains("ms"));
+        assert!(fmt_ns(2.3e9).contains(" s"));
+    }
+}

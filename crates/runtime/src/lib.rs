@@ -1,0 +1,28 @@
+//! # ivn-runtime — the self-contained runtime layer
+//!
+//! Everything the rest of the workspace needs that would otherwise come
+//! from external crates, implemented in-tree so a clean checkout builds
+//! with `cargo build --offline` against an empty registry:
+//!
+//! * [`rng`] — deterministic pseudo-randomness: a SplitMix64-seeded
+//!   Xoshiro256++ generator ([`rng::StdRng`]) behind the small [`rng::Rng`]
+//!   trait surface the simulator actually uses (`random::<f64>()`, ranges,
+//!   fork-by-stream for per-trial seeding).
+//! * [`par`] — a scoped worker-pool `par_map` built on
+//!   `std::thread::scope`, plus [`par::ensemble`] which runs Monte-Carlo
+//!   trials in parallel with per-trial forked RNG streams so results are
+//!   bit-identical at any thread count.
+//! * [`json`] — a minimal JSON value, emitter and parser for
+//!   machine-readable figure output from the bench harness.
+//! * [`prop`] — a seeded, shrink-free property-test harness (the
+//!   [`props!`] macro) replacing `proptest`.
+//! * [`bench`] — a tiny timing harness replacing `criterion` for the
+//!   `cargo bench` targets.
+//!
+//! Design notes live in DESIGN.md §"Runtime layer".
+
+pub mod bench;
+pub mod json;
+pub mod par;
+pub mod prop;
+pub mod rng;

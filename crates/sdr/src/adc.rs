@@ -8,10 +8,9 @@
 //! bandpass attenuates the 915 MHz jam by ~50 dB before conversion.
 
 use ivn_dsp::complex::Complex64;
-use serde::{Deserialize, Serialize};
 
 /// An ideal-quantizer ADC with hard clipping.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Adc {
     /// Full-scale input amplitude (clips beyond ±full_scale per rail).
     pub full_scale: f64,
@@ -70,7 +69,7 @@ impl Adc {
 /// A SAW bandpass pre-filter abstracted by its in-band and out-of-band
 /// gains (flat within each region — adequate at the 35 MHz spacing of the
 /// paper's reader).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SawFilter {
     /// Passband centre, Hz.
     pub center_hz: f64,

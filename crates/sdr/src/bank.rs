@@ -11,7 +11,7 @@ use crate::device::SdrDevice;
 use ivn_dsp::buffer::IqBuffer;
 use ivn_dsp::complex::Complex64;
 use ivn_dsp::osc::Oscillator;
-use rand::Rng;
+use ivn_runtime::rng::Rng;
 
 /// A bank of synchronized transmitters.
 #[derive(Debug, Clone)]
@@ -127,7 +127,9 @@ impl TxBank {
 
     /// Emits the whole bank for a shared profile: one buffer per device.
     pub fn emit_all(&self, profile: &[f64], drive: f64) -> Vec<IqBuffer> {
-        (0..self.len()).map(|i| self.emit(i, profile, drive)).collect()
+        (0..self.len())
+            .map(|i| self.emit(i, profile, drive))
+            .collect()
     }
 
     /// Superposes the bank's emissions at a receive point with per-device
@@ -150,8 +152,7 @@ impl TxBank {
 mod tests {
     use super::*;
     use ivn_dsp::envelope;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ivn_runtime::rng::StdRng;
 
     const PAPER_OFFSETS: [f64; 10] = [0., 7., 20., 49., 68., 73., 90., 113., 121., 137.];
 
@@ -191,7 +192,10 @@ mod tests {
         // Phase drift across the second: ≈ 2π·7·t.
         let drift = (d01[999] - d01[0]).rem_euclid(std::f64::consts::TAU);
         let expected = (std::f64::consts::TAU * 7.0 * 999.0 / 100e3) % std::f64::consts::TAU;
-        assert!((drift - expected).abs() < 1e-6, "drift {drift} vs {expected}");
+        assert!(
+            (drift - expected).abs() < 1e-6,
+            "drift {drift} vs {expected}"
+        );
     }
 
     #[test]
@@ -209,7 +213,12 @@ mod tests {
         let (_, peak) = envelope::peak(&env).unwrap();
         // Over a full period of integer offsets the 5 tones align nearly
         // perfectly somewhere: peak ≈ 5× single amplitude.
-        assert!(peak > 4.2 * single_amp, "peak {} single {}", peak, single_amp);
+        assert!(
+            peak > 4.2 * single_amp,
+            "peak {} single {}",
+            peak,
+            single_amp
+        );
     }
 
     #[test]

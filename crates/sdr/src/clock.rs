@@ -8,11 +8,10 @@
 //! the jitter model lets fault-injection tests quantify how much timing
 //! slop the downlink tolerates.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ivn_runtime::rng::Rng;
 
 /// A clock-distribution unit feeding multiple devices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClockDistribution {
     /// RMS of residual per-device trigger misalignment, seconds.
     pub pps_jitter_rms_s: f64,
@@ -41,7 +40,9 @@ impl ClockDistribution {
 
     /// Draws per-device timing offsets (seconds) for `n` devices.
     pub fn draw_trigger_offsets<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
-        (0..n).map(|_| gaussian(rng) * self.pps_jitter_rms_s).collect()
+        (0..n)
+            .map(|_| gaussian(rng) * self.pps_jitter_rms_s)
+            .collect()
     }
 
     /// Draws per-device fractional frequency offsets (dimensionless).
@@ -71,8 +72,7 @@ fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ivn_runtime::rng::StdRng;
 
     #[test]
     fn octoclock_supports_pie_timing() {
@@ -100,10 +100,7 @@ mod tests {
     fn octoclock_freq_offsets_zero() {
         let mut rng = StdRng::seed_from_u64(6);
         let c = ClockDistribution::octoclock();
-        assert!(c
-            .draw_freq_offsets(&mut rng, 8)
-            .iter()
-            .all(|&f| f == 0.0));
+        assert!(c.draw_freq_offsets(&mut rng, 8).iter().all(|&f| f == 0.0));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::pa::PowerAmp;
 use crate::pll::Pll;
 use ivn_dsp::buffer::IqBuffer;
 use ivn_dsp::complex::Complex64;
-use rand::Rng;
+use ivn_runtime::rng::Rng;
 
 /// A TX/RX software radio.
 #[derive(Debug, Clone)]
@@ -78,8 +78,7 @@ impl SdrDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ivn_runtime::rng::StdRng;
 
     fn unit_tone(len: usize, fs: f64) -> IqBuffer {
         IqBuffer::new(vec![Complex64::ONE; len], fs)

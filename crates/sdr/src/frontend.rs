@@ -9,11 +9,10 @@ use crate::adc::{Adc, SawFilter};
 use ivn_dsp::agc::block_gain;
 use ivn_dsp::complex::Complex64;
 use ivn_dsp::noise::AwgnSource;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ivn_runtime::rng::Rng;
 
 /// A low-noise amplifier: linear gain plus input-referred noise.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Lna {
     /// Voltage gain (linear).
     pub gain: f64,
@@ -39,7 +38,7 @@ impl Lna {
 }
 
 /// The full RX chain configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RxChain {
     /// Optional SAW pre-filter (None = direct connection).
     pub saw: Option<SawFilter>,
@@ -123,8 +122,7 @@ impl RxChain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ivn_runtime::rng::StdRng;
 
     fn tone(amp: f64, len: usize) -> Vec<Complex64> {
         (0..len)
@@ -138,8 +136,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let len = 512;
         let sig = tone(1e-4, len);
-        let (out, agc, sat) =
-            chain.capture(&mut rng, &[(880e6, sig.clone())], len);
+        let (out, agc, sat) = chain.capture(&mut rng, &[(880e6, sig.clone())], len);
         assert!(sat < 0.01, "saturation {sat}");
         assert!(agc > 1.0, "agc should amplify a weak signal: {agc}");
         // Output ≈ input (through the SAW's 2 dB insertion loss).
@@ -157,11 +154,8 @@ mod tests {
         let jam = tone(1e-2, len);
         let mut rng = StdRng::seed_from_u64(2);
         let with_saw = RxChain::oob_reader();
-        let (_, agc_saw, _) = with_saw.capture(
-            &mut rng,
-            &[(880e6, sig.clone()), (915e6, jam.clone())],
-            len,
-        );
+        let (_, agc_saw, _) =
+            with_saw.capture(&mut rng, &[(880e6, sig.clone()), (915e6, jam.clone())], len);
         let mut rng = StdRng::seed_from_u64(2);
         let no_saw = RxChain::without_saw();
         let (_, agc_raw, _) = no_saw.capture(&mut rng, &[(880e6, sig), (915e6, jam)], len);

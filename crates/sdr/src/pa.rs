@@ -14,10 +14,9 @@
 //! multi-tone transmitter, and the tests document that contrast.
 
 use ivn_dsp::complex::Complex64;
-use serde::{Deserialize, Serialize};
 
 /// A Rapp-model power amplifier.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerAmp {
     /// Small-signal amplitude gain (linear).
     pub gain: f64,

@@ -9,12 +9,11 @@
 //!    ≈ kHz at integer-N settings): hertz-scale CIB offsets cannot be set
 //!    in hardware and must be soft-coded into the baseband samples.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ivn_runtime::rng::Rng;
 use std::f64::consts::TAU;
 
 /// A phase-locked-loop frequency synthesizer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pll {
     /// Smallest programmable frequency step, Hz.
     pub step_hz: f64,
@@ -98,8 +97,7 @@ impl Pll {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ivn_runtime::rng::StdRng;
 
     #[test]
     fn tune_quantizes_to_step() {

@@ -1,19 +1,18 @@
 //! Property-based tests for the SDR testbed models.
 
 use ivn_dsp::complex::Complex64;
+use ivn_runtime::prop::any;
+use ivn_runtime::rng::StdRng;
+use ivn_runtime::{prop_assert, prop_assert_eq, props};
 use ivn_sdr::adc::{Adc, SawFilter};
 use ivn_sdr::bank::TxBank;
 use ivn_sdr::clock::ClockDistribution;
 use ivn_sdr::pa::PowerAmp;
 use ivn_sdr::pll::Pll;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+props! {
+    cases = 96;
 
-    #[test]
     fn pll_tunes_within_half_step(step in 1.0f64..1e6, target in 1e8f64..2e9,
                                   seed in any::<u64>()) {
         let mut pll = Pll::new(step);
@@ -22,7 +21,6 @@ proptest! {
         prop_assert!((f - target).abs() <= step / 2.0 + 1e-9);
     }
 
-    #[test]
     fn pll_phase_in_range(seed in any::<u64>()) {
         let mut pll = Pll::sbx_class();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -31,7 +29,6 @@ proptest! {
         prop_assert!((0.0..std::f64::consts::TAU).contains(&p));
     }
 
-    #[test]
     fn pa_monotone_bounded(gain in 1.0f64..50.0, vsat in 1.0f64..20.0,
                            p in 0.5f64..4.0, v1 in 0.0f64..10.0, dv in 0.0f64..10.0) {
         let pa = PowerAmp::new(gain, vsat, p);
@@ -43,14 +40,12 @@ proptest! {
         prop_assert!(a2 <= gain * (v1 + dv) + 1e-9);
     }
 
-    #[test]
     fn pa_preserves_phase(v in 0.01f64..20.0, theta in -3.0f64..3.0) {
         let pa = PowerAmp::hmc453_class();
         let y = pa.process(Complex64::from_polar(v, theta));
         prop_assert!((y.arg() - theta).abs() < 1e-9);
     }
 
-    #[test]
     fn adc_error_bounded_by_lsb(bits in 4u32..16, re in -0.99f64..0.99, im in -0.99f64..0.99) {
         let adc = Adc::new(1.0, bits);
         let x = Complex64::new(re, im);
@@ -59,21 +54,18 @@ proptest! {
         prop_assert!((y.im - im).abs() <= adc.lsb() / 2.0 + 1e-12);
     }
 
-    #[test]
     fn adc_clips_to_full_scale(v in 1.0f64..100.0) {
         let adc = Adc::new(1.0, 12);
         let y = adc.convert(Complex64::new(v, -v));
         prop_assert!(y.re <= 1.0 + 1e-12 && y.im >= -1.0 - 1e-12);
     }
 
-    #[test]
     fn saw_gain_bounded(f in 8e8f64..1e9) {
         let saw = SawFilter::reader_880();
         let g = saw.gain_at(f);
         prop_assert!(g > 0.0 && g < 1.0);
     }
 
-    #[test]
     fn bank_emissions_match_offsets(n in 1usize..8, seed in any::<u64>()) {
         let offsets: Vec<f64> = (0..n).map(|i| i as f64 * 13.0).collect();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -88,7 +80,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn superposition_is_linear(seed in any::<u64>(), scale in 0.1f64..5.0) {
         let mut rng = StdRng::seed_from_u64(seed);
         let bank = TxBank::new(

@@ -8,8 +8,7 @@
 
 use ivn::core::freqsel::{expected_peak, optimize, FreqSelConfig};
 use ivn::core::waveform::{eq9_rms_bound, CibEnvelope};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ivn_runtime::rng::{Rng, StdRng};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

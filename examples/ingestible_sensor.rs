@@ -14,8 +14,7 @@
 
 use ivn::core::body::{Placement, TagSpec};
 use ivn::core::system::{IvnSystem, SystemConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ivn_runtime::rng::StdRng;
 
 fn success_rate(n_antennas: usize, tag: TagSpec, placement: &Placement, trials: usize) -> f64 {
     let sys = IvnSystem::new(SystemConfig::paper_prototype(n_antennas, tag));

@@ -13,8 +13,7 @@ use ivn::core::multisensor::{run_campaign, SensorDeployment};
 use ivn::em::channel::ChannelModel;
 use ivn::em::multipath::MultipathChannel;
 use ivn::rfid::epc::allocate_family;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ivn_runtime::rng::StdRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(0x5E75);
@@ -35,7 +34,10 @@ fn main() {
 
     let cib = CibConfig::paper_prototype_n(8);
     println!("Multi-sensor campaign: 5 sensors in fluid, 8-antenna CIB\n");
-    println!("{:>10}  {:>10}  {:>10}  {:>12}", "depth (cm)", "serial", "powered", "inventoried");
+    println!(
+        "{:>10}  {:>10}  {:>10}  {:>12}",
+        "depth (cm)", "serial", "powered", "inventoried"
+    );
     let outcomes = run_campaign(&mut rng, &cib, 37.0, &sensors, 40);
     for (o, d) in outcomes.iter().zip(depths) {
         println!(
@@ -60,7 +62,11 @@ fn main() {
     let decision = choose_center(&cib, &channels, &ism_hop_set());
     println!(
         "hopped {} → {:.0} MHz, delivered power ×{:.1}",
-        if decision.carrier_hz == cib.carrier_hz { "(stayed)" } else { "away" },
+        if decision.carrier_hz == cib.carrier_hz {
+            "(stayed)"
+        } else {
+            "away"
+        },
         decision.carrier_hz / 1e6,
         decision.improvement()
     );

@@ -7,8 +7,7 @@
 
 use ivn::core::body::{Placement, TagSpec};
 use ivn::core::system::{IvnSystem, SystemConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ivn_runtime::rng::StdRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(0xC1B);
@@ -44,5 +43,8 @@ fn main() {
 
     // How deep can it go? (paper: 23 cm for this tag at 8 antennas)
     let max_depth = ivn.max_depth_water(&mut rng, 0.5, 2);
-    println!("\nmaximum working depth with 8 antennas: {:.1} cm", max_depth * 100.0);
+    println!(
+        "\nmaximum working depth with 8 antennas: {:.1} cm",
+        max_depth * 100.0
+    );
 }

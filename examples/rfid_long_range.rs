@@ -9,8 +9,7 @@
 
 use ivn::core::body::TagSpec;
 use ivn::core::system::{IvnSystem, SystemConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ivn_runtime::rng::StdRng;
 
 fn main() {
     println!("Line-of-sight range of an off-the-shelf passive RFID vs antennas\n");

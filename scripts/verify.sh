@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Offline verification: build, test, format check, and the runtime-layer
+# benchmark. Must pass from a clean checkout with an empty cargo registry —
+# the workspace has no external dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> runtime bench (BENCH_runtime.json)"
+IVN_BENCH_FAST="${IVN_BENCH_FAST:-1}" cargo run --release --offline -p ivn-bench --bin bench_runtime
+
+echo "verify: OK"

@@ -15,6 +15,8 @@
 //! * [`sdr`] — software-radio testbed simulation (PLLs, clocks, PAs)
 //! * [`core`] — CIB beamforming, frequency selection, baselines, the
 //!   out-of-band reader, and the end-to-end [`core::system::IvnSystem`]
+//! * [`runtime`] — the zero-dependency substrate: seeded RNG streams,
+//!   scoped worker pool, JSON, property testing and the bench harness
 //!
 //! ## Quickstart
 //!
@@ -33,4 +35,5 @@ pub use ivn_dsp as dsp;
 pub use ivn_em as em;
 pub use ivn_harvester as harvester;
 pub use ivn_rfid as rfid;
+pub use ivn_runtime as runtime;
 pub use ivn_sdr as sdr;

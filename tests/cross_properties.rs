@@ -9,16 +9,16 @@ use ivn::em::medium::Medium;
 use ivn::harvester::powerup::TagPowerProfile;
 use ivn::harvester::rectifier::Rectifier;
 use ivn::harvester::DiodeModel;
-use proptest::prelude::*;
+use ivn_runtime::prop::{vec as pvec, Strategy};
+use ivn_runtime::{prop_assert, prop_assert_eq, props};
 
 fn medium_strategy() -> impl Strategy<Value = Medium> {
     (1.0f64..80.0, 0.0f64..3.0).prop_map(|(eps, sigma)| Medium::new("prop", eps, sigma))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    cases = 64;
 
-    #[test]
     fn channel_amplitude_never_grows(medium in medium_strategy(),
                                      air in 0.1f64..5.0,
                                      depth in 0.0f64..0.2) {
@@ -29,7 +29,6 @@ proptest! {
         prop_assert!(with_tissue <= free + 1e-12);
     }
 
-    #[test]
     fn deeper_is_never_stronger(medium in medium_strategy(),
                                 d1 in 0.0f64..0.1, extra in 0.0f64..0.1) {
         let shallow = single_medium_path(0.5, medium.clone(), d1).response(915e6).norm();
@@ -37,7 +36,6 @@ proptest! {
         prop_assert!(deep <= shallow + 1e-12);
     }
 
-    #[test]
     fn alpha_beta_nonnegative_and_ordered(medium in medium_strategy(),
                                           f in 100e6f64..3e9) {
         prop_assert!(medium.alpha(f) >= 0.0);
@@ -47,10 +45,9 @@ proptest! {
         prop_assert!(medium.alpha(f) < medium.beta(f));
     }
 
-    #[test]
     fn cib_peak_bounded_by_mrt_and_above_static(
-        amps in prop::collection::vec(0.01f64..1.0, 2..10),
-        phases in prop::collection::vec(0.0f64..std::f64::consts::TAU, 10),
+        amps in pvec(0.01f64..1.0, 2..10),
+        phases in pvec(0.0f64..std::f64::consts::TAU, 10),
     ) {
         let n = amps.len();
         let channels: Vec<Complex64> = amps
@@ -69,9 +66,8 @@ proptest! {
         prop_assert!(peak >= static_sum - 1e-9);
     }
 
-    #[test]
     fn envelope_invariant_under_common_phase(
-        phases in prop::collection::vec(0.0f64..std::f64::consts::TAU, 5),
+        phases in pvec(0.0f64..std::f64::consts::TAU, 5),
         shift in 0.0f64..std::f64::consts::TAU,
         t in 0.0f64..1.0,
     ) {
@@ -82,14 +78,12 @@ proptest! {
         prop_assert!((a.envelope(t) - b.envelope(t)).abs() < 1e-9);
     }
 
-    #[test]
     fn rectifier_monotone_in_drive(vs1 in 0.0f64..2.0, extra in 0.0f64..2.0,
                                    stages in 1usize..6) {
         let r = Rectifier::new(stages, DiodeModel::typical_rfid(), 1000.0);
         prop_assert!(r.steady_state_vdc(vs1 + extra) >= r.steady_state_vdc(vs1));
     }
 
-    #[test]
     fn powerup_monotone_in_power(p in 1e-6f64..1e-2, factor in 1.0f64..10.0) {
         // If a tag powers at P it powers at k·P (k ≥ 1).
         let tag = TagPowerProfile::standard_tag();
@@ -98,7 +92,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn powerup_transient_consistent_with_analytic(p_dbm in -20.0f64..10.0) {
         // The transient simulation and the analytic peak check agree for
         // constant envelopes (given enough time).
@@ -109,7 +102,6 @@ proptest! {
         prop_assert_eq!(out.powered, tag.can_power_at_peak(p));
     }
 
-    #[test]
     fn boundary_transmittance_in_unit_range(m1 in medium_strategy(), m2 in medium_strategy()) {
         let t = ivn::em::boundary::power_transmittance(&m1, &m2, 915e6);
         prop_assert!((0.0..=1.0).contains(&t));

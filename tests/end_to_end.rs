@@ -4,8 +4,7 @@
 use ivn::core::body::{Placement, TagSpec};
 use ivn::core::system::{IvnSystem, SystemConfig};
 use ivn::em::medium::Medium;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ivn_runtime::rng::StdRng;
 
 #[test]
 fn water_depth_grows_with_antennas() {
@@ -81,7 +80,10 @@ fn gastric_standard_tag_succeeds_about_half_the_time() {
     let mut rng = StdRng::seed_from_u64(15);
     let trials = 30;
     let ok = (0..trials)
-        .filter(|_| sys.run_session(&mut rng, &Placement::swine_gastric()).success())
+        .filter(|_| {
+            sys.run_session(&mut rng, &Placement::swine_gastric())
+                .success()
+        })
         .count();
     // Paper: half of six trials. Accept 20–80 % over a larger sample.
     let rate = ok as f64 / trials as f64;

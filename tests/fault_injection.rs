@@ -9,8 +9,7 @@ use ivn::rfid::commands::{Command, DivideRatio, Session, TagEncoding};
 use ivn::rfid::pie::{decode_frame, encode_frame, rasterize, PieParams};
 use ivn::rfid::tag::{Tag, TagReply, TagState};
 use ivn::sdr::clock::ClockDistribution;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ivn_runtime::rng::StdRng;
 
 fn query() -> Command {
     Command::Query {
@@ -64,7 +63,9 @@ fn pie_decoding_survives_moderate_amplitude_noise() {
         for v in env.iter_mut() {
             *v = (*v + noise.sample(&mut rng).re).max(0.0);
         }
-        decode_frame(&env, 400e3).map(|d| d == bits).unwrap_or(false)
+        decode_frame(&env, 400e3)
+            .map(|d| d == bits)
+            .unwrap_or(false)
     };
     assert!(decode_with_noise(0.05));
     let mut failures = 0;
@@ -104,7 +105,7 @@ fn brownout_storm_never_corrupts_tag_state() {
     // be in a consistent state and never reply while dark.
     let mut tag = Tag::with_epc96(0xD00D, 3);
     let mut rng = StdRng::seed_from_u64(4);
-    use rand::Rng;
+    use ivn_runtime::rng::Rng;
     for step in 0..2000 {
         let powered = rng.random::<f64>() < 0.5;
         tag.set_powered(powered);
@@ -123,7 +124,7 @@ fn phase_noise_does_not_break_cib_gain() {
     // relative phase *rates*, and the walk is slow next to the offsets.
     let mut rng = StdRng::seed_from_u64(5);
     use ivn::core::cib::CibConfig;
-    use rand::Rng;
+    use ivn_runtime::rng::Rng;
     let cfg = CibConfig::paper_prototype_n(8);
     let clean: Vec<Complex64> = (0..8)
         .map(|_| Complex64::from_polar(1.0, rng.random::<f64>() * std::f64::consts::TAU))
@@ -162,7 +163,7 @@ fn trigger_slop_breaks_command_synchrony_predictably() {
     let mut rng = StdRng::seed_from_u64(6);
 
     let decode_with_clock = |clock: &ClockDistribution, rng: &mut StdRng| -> bool {
-        use rand::Rng;
+        use ivn_runtime::rng::Rng;
         let offsets = clock.draw_trigger_offsets(rng, 4);
         // Superpose 4 antennas' keyed envelopes with per-antenna delay.
         let mut env = vec![0.0f64; profile.len()];
@@ -194,7 +195,10 @@ fn trigger_slop_breaks_command_synchrony_predictably() {
             failures += 1;
         }
     }
-    assert!(failures >= 3, "sloppy clock decoded too often ({failures}/5 failed)");
+    assert!(
+        failures >= 3,
+        "sloppy clock decoded too often ({failures}/5 failed)"
+    );
 }
 
 #[test]

@@ -5,7 +5,10 @@
 fn fig2_threshold_blocks_small_voltages() {
     let s = ivn_bench::fig02_diode::run(true);
     // At 0.20 V the threshold diode passes zero current.
-    let line = s.lines().find(|l| l.trim_start().starts_with("0.20")).unwrap();
+    let line = s
+        .lines()
+        .find(|l| l.trim_start().starts_with("0.20"))
+        .unwrap();
     let cells: Vec<&str> = line.split_whitespace().collect();
     assert_eq!(cells[2].parse::<f64>().unwrap(), 0.0, "{line}");
 }
@@ -45,13 +48,7 @@ fn fig9_monotone_gain() {
     let medians: Vec<f64> = s
         .lines()
         .filter(|l| l.trim_start().starts_with(char::is_numeric))
-        .map(|l| {
-            l.split_whitespace()
-                .nth(2)
-                .unwrap()
-                .parse::<f64>()
-                .unwrap()
-        })
+        .map(|l| l.split_whitespace().nth(2).unwrap().parse::<f64>().unwrap())
         .collect();
     assert_eq!(medians.len(), 10);
     assert!(medians[9] > 10.0 * medians[0], "{medians:?}");
@@ -80,7 +77,10 @@ fn fig12_headline_claims() {
     let wins: f64 = s
         .lines()
         .find(|l| l.starts_with("CIB wins"))
-        .and_then(|l| l.split(['a', '%']).find_map(|t| t.trim_start_matches('t').trim().parse().ok()))
+        .and_then(|l| {
+            l.split(['a', '%'])
+                .find_map(|t| t.trim_start_matches('t').trim().parse().ok())
+        })
         .unwrap();
     assert!(wins > 95.0, "win rate {wins}");
 }
@@ -100,7 +100,10 @@ fn invivo_pattern_matches_paper() {
     let subcut_std = count(rows[2]);
     let subcut_mini = count(rows[3]);
     // Paper §6.2 pattern: partial / none / all / all.
-    assert!(gastric_std.0 > 0 && gastric_std.0 < gastric_std.1, "{rows:?}");
+    assert!(
+        gastric_std.0 > 0 && gastric_std.0 < gastric_std.1,
+        "{rows:?}"
+    );
     assert_eq!(gastric_mini.0, 0, "{rows:?}");
     assert_eq!(subcut_std.0, subcut_std.1, "{rows:?}");
     assert_eq!(subcut_mini.0, subcut_mini.1, "{rows:?}");
@@ -112,12 +115,7 @@ fn freqs_optimization_feasible() {
     assert!(s.contains("optimized plan"));
     // The reported RMS values must respect the 199 Hz cap.
     for line in s.lines().filter(|l| l.trim_start().starts_with("rms")) {
-        let rms: f64 = line
-            .split_whitespace()
-            .nth(1)
-            .unwrap()
-            .parse()
-            .unwrap();
+        let rms: f64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
         assert!(rms <= 199.0, "{line}");
     }
 }

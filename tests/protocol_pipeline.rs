@@ -8,8 +8,7 @@ use ivn::rfid::commands::{Command, DivideRatio, Session, TagEncoding};
 use ivn::rfid::fm0::Fm0;
 use ivn::rfid::pie::{decode_frame, encode_frame, rasterize, PieParams};
 use ivn::rfid::tag::{Tag, TagReply};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ivn_runtime::rng::StdRng;
 
 fn query(q: u8) -> Command {
     Command::Query {
