@@ -1,22 +1,116 @@
-//! Runtime-layer benchmark: serial vs parallel Monte-Carlo wall-clock.
+//! Runtime-layer benchmark: serial vs parallel Monte-Carlo wall-clock,
+//! plus a per-stage breakdown of the pipeline.
 //!
 //! Times `peak_gain_cdf` on one worker thread against the machine's full
-//! worker-pool width, verifies the two produce bit-identical results, and
-//! writes `BENCH_runtime.json` (machine-readable, via the in-tree JSON
-//! layer) to the current directory.
+//! worker-pool width, verifies the two produce bit-identical results,
+//! times one representative workload per pipeline stage (sdr, em,
+//! harvester, rfid, freqsel), and writes `BENCH_runtime.json`
+//! (machine-readable, via the in-tree JSON layer) to the current
+//! directory.
+//!
+//! With `--obs`, observability (`ivn_runtime::obs`) is enabled for the
+//! stage runs and the resulting metric `Report` is embedded in the JSON
+//! under `"obs_report"` — counters and span histograms from inside every
+//! instrumented crate.
 //!
 //! Set `IVN_BENCH_FAST=1` for a quick smoke run.
 
 use ivn_core::experiment::peak_gain_cdf_threads;
 use ivn_core::PAPER_OFFSETS_HZ;
 use ivn_runtime::bench::{black_box, Bench};
-use ivn_runtime::json::Json;
+use ivn_runtime::json::{Json, ToJson};
+use ivn_runtime::obs;
 use ivn_runtime::par;
+use ivn_runtime::rng::StdRng;
 
 const SEED: u64 = 42;
 const GRID: usize = 1024;
 
+/// One representative, seeded workload per pipeline stage. Each returns a
+/// value to `black_box` so nothing is optimized away.
+fn stage_workload(stage: &str, fast: bool) -> f64 {
+    match stage {
+        "sdr" => {
+            // Bank synthesis + one device emission.
+            use ivn_sdr::bank::TxBank;
+            use ivn_sdr::clock::ClockDistribution;
+            let mut rng = StdRng::seed_from_u64(SEED);
+            let bank = TxBank::new(
+                &mut rng,
+                5,
+                915e6,
+                100e3,
+                &PAPER_OFFSETS_HZ[..5],
+                &ClockDistribution::octoclock(),
+            );
+            let profile = vec![1.0; if fast { 2_000 } else { 20_000 }];
+            bank.emit(0, &profile, 0.05).samples()[0].norm()
+        }
+        "em" => {
+            // Blind-channel ensemble evaluation across the CIB tones.
+            use ivn_em::channel::ChannelEnsemble;
+            let mut rng = StdRng::seed_from_u64(SEED);
+            let ens = ChannelEnsemble::blind(&mut rng, 10, 0.3, 915e6);
+            let sweeps = if fast { 200 } else { 2_000 };
+            (0..sweeps)
+                .flat_map(|k| ens.responses(915e6 + k as f64))
+                .map(|c| c.norm_sqr())
+                .sum()
+        }
+        "harvester" => {
+            // Dickson-pump power-up transient on a peaky envelope.
+            use ivn_harvester::powerup::TagPowerProfile;
+            let tag = TagPowerProfile::standard_tag();
+            let n = if fast { 10_000 } else { 100_000 };
+            let mut env = vec![0.0; n];
+            for chunk in env.chunks_mut(1_000) {
+                for v in chunk.iter_mut().take(10) {
+                    *v = 1e-2;
+                }
+            }
+            let out = tag.power_up(&env, 1e6);
+            out.peak_vdc
+        }
+        "rfid" => {
+            // Full downlink + uplink codec pass: PIE encode→rasterize→
+            // decode of a Query, then FM0 encode→decode of a reply.
+            use ivn_rfid::commands::{Command, DivideRatio, Session, TagEncoding};
+            use ivn_rfid::fm0::Fm0;
+            use ivn_rfid::pie::{decode_frame, encode_frame, rasterize, PieParams};
+            let bits = Command::Query {
+                dr: DivideRatio::Dr8,
+                m: TagEncoding::Fm0,
+                trext: false,
+                session: Session::S0,
+                q: 0,
+            }
+            .encode();
+            let p = PieParams::paper_defaults();
+            let reps = if fast { 5 } else { 50 };
+            let fm0 = Fm0::new(8);
+            let reply: Vec<bool> = (0..96).map(|i| i % 3 == 0).collect();
+            let mut acc = 0.0;
+            for _ in 0..reps {
+                let runs = encode_frame(&bits, &p, true);
+                let env = rasterize(&runs, 400e3, 0.0);
+                acc += decode_frame(&env, 400e3).map(|d| d.len()).unwrap_or(0) as f64;
+                acc += fm0.decode(&fm0.encode(&reply)).len() as f64;
+            }
+            acc
+        }
+        "freqsel" => {
+            // The Eq. 10 Monte-Carlo objective on the paper's plan.
+            use ivn_core::freqsel::expected_peak;
+            let mut rng = StdRng::seed_from_u64(SEED);
+            let draws = if fast { 16 } else { 96 };
+            expected_peak(&PAPER_OFFSETS_HZ, draws, GRID, &mut rng)
+        }
+        other => unreachable!("unknown stage {other}"),
+    }
+}
+
 fn main() {
+    let with_obs = std::env::args().any(|a| a == "--obs");
     let fast = std::env::var("IVN_BENCH_FAST").is_ok_and(|v| v == "1");
     let trials = if fast { 64 } else { 400 };
     let threads = par::num_threads();
@@ -44,8 +138,35 @@ fn main() {
     let speedup = serial_ns / parallel_ns;
     println!("worker threads: {threads}, speedup: {speedup:.2}x");
 
-    let doc = Json::obj([
-        ("bench", "peak_gain_cdf".into()),
+    // Per-stage wall-clock breakdown. With --obs the stage runs also feed
+    // the metric registry, so the report reflects exactly this work.
+    const STAGES: [&str; 5] = ["sdr", "em", "harvester", "rfid", "freqsel"];
+    if with_obs {
+        obs::reset();
+        obs::set_enabled(true);
+    }
+    let mut stage_entries = Vec::new();
+    for stage in STAGES {
+        let r = b.bench(&format!("stage/{stage}"), || {
+            black_box(stage_workload(stage, fast))
+        });
+        println!("stage {stage:<10} median {:>12.0} ns", r.median_ns);
+        stage_entries.push(Json::obj([
+            ("stage", stage.into()),
+            ("median_ns", r.median_ns.into()),
+            ("mean_ns", r.mean_ns.into()),
+            ("min_ns", r.min_ns.into()),
+        ]));
+    }
+    let obs_report = with_obs.then(|| {
+        let report = obs::report();
+        obs::set_enabled(false);
+        print!("{}", report.render());
+        report.to_json()
+    });
+
+    let mut fields = vec![
+        ("bench", Json::from("peak_gain_cdf")),
         ("offsets", offsets.to_vec().into()),
         ("trials", trials.into()),
         ("grid", GRID.into()),
@@ -54,8 +175,18 @@ fn main() {
         ("serial_median_ns", serial_ns.into()),
         ("parallel_median_ns", parallel_ns.into()),
         ("speedup", speedup.into()),
+        ("stages", Json::Arr(stage_entries)),
         ("results", b.to_json()),
-    ]);
+    ];
+    if let Some(report) = obs_report {
+        fields.push(("obs_report", report));
+    }
+    let doc = Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
     std::fs::write("BENCH_runtime.json", doc.dump() + "\n").expect("write BENCH_runtime.json");
     println!("wrote BENCH_runtime.json");
 }

@@ -1,7 +1,7 @@
 //! `reproduce` — regenerates every table and figure of the IVN paper.
 //!
 //! ```text
-//! reproduce <target> [--quick]
+//! reproduce <target> [--quick] [--obs]
 //!
 //! targets:
 //!   fig2    diode I-V curves (ideal vs threshold)
@@ -18,17 +18,33 @@
 //!   ablations   design-choice ablations
 //!   all     everything above in order
 //! ```
+//!
+//! `--obs` enables the `ivn_runtime::obs` observability layer for the
+//! run and appends the metric report (span timings, per-crate counters)
+//! after the figure output. Observability never changes figure bytes —
+//! `tests/determinism.rs` pins that.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let with_obs = args.iter().any(|a| a == "--obs");
     let target = args.iter().find(|a| !a.starts_with('-')).cloned();
 
     let Some(target) = target else {
-        eprintln!("usage: reproduce <fig2|fig3|fig4|fig6|fig9|fig10|fig11|fig12|fig13|invivo|freqs|ablations|all> [--quick]");
+        eprintln!("usage: reproduce <fig2|fig3|fig4|fig6|fig9|fig10|fig11|fig12|fig13|invivo|freqs|ablations|all> [--quick] [--obs]");
         return ExitCode::FAILURE;
+    };
+
+    if with_obs {
+        ivn_runtime::obs::set_enabled(true);
+    }
+    let print_obs_report = || {
+        if with_obs {
+            println!("\n── observability report ──");
+            print!("{}", ivn_runtime::obs::report().render());
+        }
     };
 
     let render = |name: &str| -> Option<String> {
@@ -66,12 +82,14 @@ fn main() -> ExitCode {
         ] {
             print!("{}", render(name).expect("known target"));
         }
+        print_obs_report();
         return ExitCode::SUCCESS;
     }
 
     match render(&target) {
         Some(s) => {
             print!("{s}");
+            print_obs_report();
             ExitCode::SUCCESS
         }
         None => {

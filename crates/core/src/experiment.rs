@@ -72,6 +72,8 @@ pub fn peak_gain_cdf_threads(
     seed: u64,
     threads: usize,
 ) -> Ecdf {
+    let _span = ivn_runtime::span!("experiment.peak_gain_cdf_ns");
+    ivn_runtime::obs_count!("experiment.trials", trials);
     let cfg = CibConfig {
         offsets_hz: offsets_hz.to_vec(),
         carrier_hz: crate::BEAMFORMER_CARRIER_HZ,
@@ -111,6 +113,9 @@ pub fn gain_vs_antennas_threads(
     threads: usize,
 ) -> Vec<GainVsAntennas> {
     assert!((1..=10).contains(&n_max));
+    let _span = ivn_runtime::span!("experiment.gain_vs_antennas_ns");
+    ivn_runtime::obs_count!("experiment.trials", trials * n_max);
+    ivn_runtime::obs_count!("experiment.rounds", n_max);
     (1..=n_max)
         .map(|n| {
             let cfg = CibConfig::paper_prototype_n(n);
@@ -212,6 +217,8 @@ pub struct MediaGain {
 
 /// Reproduces Fig. 11 over the paper's seven media.
 pub fn gain_across_media(trials: usize, seed: u64) -> Vec<MediaGain> {
+    let _span = ivn_runtime::span!("experiment.gain_across_media_ns");
+    ivn_runtime::obs_count!("experiment.trials", trials * 7);
     let cfg = CibConfig::paper_prototype();
     let cib = CibBeamformer { config: cfg };
     let baseline = BlindCoherent { n: 10 };
@@ -250,6 +257,8 @@ pub fn gain_across_media(trials: usize, seed: u64) -> Vec<MediaGain> {
 /// Reproduces Fig. 12: the per-location ratio of CIB peak power to the
 /// blind 10-antenna baseline's power, as an ECDF.
 pub fn cib_vs_baseline_cdf(trials: usize, seed: u64) -> Ecdf {
+    let _span = ivn_runtime::span!("experiment.cib_vs_baseline_ns");
+    ivn_runtime::obs_count!("experiment.trials", trials);
     let cib = CibBeamformer {
         config: CibConfig::paper_prototype(),
     };
@@ -312,6 +321,8 @@ pub fn range_vs_antennas(
     n_max: usize,
     seed: u64,
 ) -> Vec<RangePoint> {
+    let _span = ivn_runtime::span!("experiment.range_vs_antennas_ns");
+    ivn_runtime::obs_count!("experiment.rounds", n_max);
     // Each antenna count is an independent bisection search with its own
     // seed, so the sweep parallelizes over `n` rather than over trials.
     let ns: Vec<usize> = (1..=n_max).collect();
@@ -349,6 +360,9 @@ pub struct InVivoRow {
 /// placements × standard and miniature tags, `trials` placements each
 /// with 8 antennas.
 pub fn in_vivo_campaign(trials: usize, seed: u64) -> Vec<InVivoRow> {
+    let _span = ivn_runtime::span!("experiment.in_vivo_campaign_ns");
+    ivn_runtime::obs_count!("experiment.trials", trials * 4);
+    ivn_runtime::obs_count!("experiment.rounds", 4);
     let placements = [Placement::swine_gastric(), Placement::swine_subcutaneous()];
     let tags = [TagSpec::standard(), TagSpec::miniature()];
     let mut rows = Vec::new();

@@ -91,6 +91,9 @@ pub fn expected_peak<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> f64 {
     assert!(draws > 0);
+    let _span = ivn_runtime::span!("freqsel.mc_eval_ns");
+    ivn_runtime::obs_count!("freqsel.mc_evals", 1);
+    ivn_runtime::obs_count!("freqsel.mc_draws", draws);
     let mut acc = 0.0;
     let mut phases = vec![0.0; offsets_hz.len()];
     for _ in 0..draws {
@@ -128,6 +131,7 @@ fn draw_feasible_set<R: Rng + ?Sized>(cfg: &FreqSelConfig, rng: &mut R) -> Vec<u
 }
 
 fn climb(cfg: &FreqSelConfig, seed: u64, maximize: bool) -> FrequencyPlan {
+    let _span = ivn_runtime::span!("freqsel.restart_ns");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut current = draw_feasible_set(cfg, &mut rng);
     // Common random numbers: one evaluation seed reused for every

@@ -180,11 +180,13 @@ impl ChannelEnsemble {
     /// # Panics
     /// Panics if `i` is out of range.
     pub fn response(&self, i: usize, freq_hz: f64) -> Complex64 {
+        ivn_runtime::obs_count!("em.channel_evals", 1);
         self.channels[i].response(freq_hz)
     }
 
     /// All responses at one frequency.
     pub fn responses(&self, freq_hz: f64) -> Vec<Complex64> {
+        ivn_runtime::obs_count!("em.channel_evals", self.channels.len());
         self.channels.iter().map(|c| c.response(freq_hz)).collect()
     }
 }

@@ -91,6 +91,8 @@ impl TagPowerProfile {
     /// Runs the power-up simulation over a received-power envelope
     /// (watts per sample at `sample_rate`). Returns the outcome.
     pub fn power_up(&self, power_envelope: &[f64], sample_rate: f64) -> PowerUpOutcome {
+        let _span = ivn_runtime::span!("harvester.power_up_ns");
+        ivn_runtime::obs_count!("harvester.charge_steps", power_envelope.len());
         let vs: Vec<f64> = power_envelope
             .iter()
             .map(|&p| self.input_amplitude(p))
@@ -108,6 +110,9 @@ impl TagPowerProfile {
             if awake_at.is_none() && v >= self.v_operate {
                 awake_at = Some(n);
             }
+        }
+        if awake_at.is_some() {
+            ivn_runtime::obs_count!("harvester.threshold_crossings", 1);
         }
         PowerUpOutcome {
             powered: awake_at.is_some(),

@@ -31,13 +31,19 @@ pub fn append_crc5(bits: &mut Vec<bool>) {
 /// Verifies a sequence whose last 5 bits are its CRC-5.
 pub fn check_crc5(bits: &[bool]) -> bool {
     if bits.len() < 5 {
+        ivn_runtime::obs_count!("rfid.crc_failures", 1);
         return false;
     }
     let (body, tail) = bits.split_at(bits.len() - 5);
     let c = crc5(body);
-    tail.iter()
+    let ok = tail
+        .iter()
         .enumerate()
-        .all(|(i, &b)| ((c >> (4 - i)) & 1 == 1) == b)
+        .all(|(i, &b)| ((c >> (4 - i)) & 1 == 1) == b);
+    if !ok {
+        ivn_runtime::obs_count!("rfid.crc_failures", 1);
+    }
+    ok
 }
 
 /// Computes the Gen2 CRC-16 (CCITT, preset 0xFFFF, complemented output)
@@ -65,13 +71,19 @@ pub fn append_crc16(bits: &mut Vec<bool>) {
 /// Verifies a sequence whose last 16 bits are its CRC-16.
 pub fn check_crc16(bits: &[bool]) -> bool {
     if bits.len() < 16 {
+        ivn_runtime::obs_count!("rfid.crc_failures", 1);
         return false;
     }
     let (body, tail) = bits.split_at(bits.len() - 16);
     let c = crc16(body);
-    tail.iter()
+    let ok = tail
+        .iter()
         .enumerate()
-        .all(|(i, &b)| ((c >> (15 - i)) & 1 == 1) == b)
+        .all(|(i, &b)| ((c >> (15 - i)) & 1 == 1) == b);
+    if !ok {
+        ivn_runtime::obs_count!("rfid.crc_failures", 1);
+    }
+    ok
 }
 
 /// Converts a `u16` into 16 bits, MSB first. Convenience for EPC words.

@@ -40,6 +40,7 @@ impl Miller {
 
     /// Encodes bits: returns ±1 samples of baseband × subcarrier.
     pub fn encode(&self, bits: &[bool]) -> Vec<f64> {
+        ivn_runtime::obs_count!("rfid.miller_symbols_encoded", bits.len());
         let half_cycle = 2 * self.samples_per_quarter;
         let sps = self.samples_per_symbol();
         let mut out = Vec::with_capacity(bits.len() * sps);
@@ -71,6 +72,7 @@ impl Miller {
     pub fn decode(&self, samples: &[f64]) -> Vec<bool> {
         let half_cycle = 2 * self.samples_per_quarter;
         let sps = self.samples_per_symbol();
+        ivn_runtime::obs_count!("rfid.miller_symbols_decoded", samples.len() / sps);
         let mut bits = Vec::with_capacity(samples.len() / sps);
         let mut prev_end: Option<f64> = None;
         for sym in samples.chunks_exact(sps) {

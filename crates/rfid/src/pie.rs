@@ -81,6 +81,7 @@ pub type LevelRuns = Vec<(bool, f64)>;
 /// `with_trcal` must be true for Query (full preamble) and false for all
 /// other commands (frame-sync only).
 pub fn encode_frame(bits: &[bool], p: &PieParams, with_trcal: bool) -> LevelRuns {
+    ivn_runtime::obs_count!("rfid.pie_symbols_encoded", bits.len());
     let mut runs: LevelRuns = Vec::with_capacity(2 * bits.len() + 10);
     // Symbols are "high for (duration − PW), then low for PW".
     let push_symbol = |runs: &mut LevelRuns, duration: f64| {
@@ -143,6 +144,15 @@ pub enum PieError {
 /// so it inherits the paper's amplitude-flatness requirement: if the CIB
 /// envelope droops too much during the frame, notches are missed.
 pub fn decode_frame(envelope: &[f64], sample_rate: f64) -> Result<Vec<bool>, PieError> {
+    let result = decode_frame_inner(envelope, sample_rate);
+    match &result {
+        Ok(bits) => ivn_runtime::obs_count!("rfid.pie_symbols_decoded", bits.len()),
+        Err(_) => ivn_runtime::obs_count!("rfid.pie_decode_errors", 1),
+    }
+    result
+}
+
+fn decode_frame_inner(envelope: &[f64], sample_rate: f64) -> Result<Vec<bool>, PieError> {
     if envelope.len() < 8 {
         return Err(PieError::TooShort);
     }

@@ -18,11 +18,16 @@
 //!   [`props!`] macro) replacing `proptest`.
 //! * [`bench`] — a tiny timing harness replacing `criterion` for the
 //!   `cargo bench` targets.
+//! * [`obs`] — pipeline observability: [`span!`] tracing, counters,
+//!   gauges and power-of-two histograms behind one global enable flag,
+//!   snapshotted into an [`obs::Report`] that serializes through
+//!   [`json`]. Off by default and free when off.
 //!
 //! Design notes live in DESIGN.md §"Runtime layer".
 
 pub mod bench;
 pub mod json;
+pub mod obs;
 pub mod par;
 pub mod prop;
 pub mod rng;

@@ -1,0 +1,133 @@
+//! Property-based tests for the observability layer.
+//!
+//! The three guarantees the pipeline instrumentation leans on:
+//! histogram merging is a commutative monoid (so per-shard snapshots can
+//! combine in any order), counter totals are independent of how the
+//! `par` worker pool schedules the increments, and a `Report` survives a
+//! round trip through the in-tree `json` layer bit-for-bit.
+
+use ivn_runtime::json::{FromJson, Json, ToJson};
+use ivn_runtime::obs::{self, HistogramSnapshot, Report};
+use ivn_runtime::par;
+use ivn_runtime::prop::{vec, Just, Strategy};
+use ivn_runtime::{prop_assert, prop_assert_eq, prop_oneof, props};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fresh metric name per property case: the registry is process-global,
+/// so every case records into its own counter.
+fn unique_name(prefix: &str) -> String {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    format!("{prefix}.{}", NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Sample values spanning every histogram bucket from 0 up to 2^40.
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    vec(
+        prop_oneof![
+            Just(0u64),
+            1u64..16,
+            16u64..4096,
+            4096u64..(1 << 20),
+            (1u64 << 20)..(1 << 40),
+        ],
+        0..48,
+    )
+}
+
+/// A structurally arbitrary report whose numbers all survive the f64
+/// bridge the JSON layer uses (counters < 2^50, sums < 2^53).
+fn report_strategy() -> impl Strategy<Value = Report> {
+    (
+        vec(0u64..(1 << 50), 0..5),
+        vec(-1e12f64..1e12, 0..5),
+        vec(values(), 0..4),
+    )
+        .prop_map(|(counters, gauges, hists)| Report {
+            counters: counters
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (format!("c{i}"), v))
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (format!("g{i}"), v))
+                .collect(),
+            histograms: hists
+                .into_iter()
+                .enumerate()
+                .map(|(i, vs)| (format!("h{i}"), HistogramSnapshot::from_values(&vs)))
+                .collect(),
+        })
+}
+
+props! {
+    cases = 64;
+
+    fn histogram_merge_is_commutative(a in values(), b in values()) {
+        let (sa, sb) = (HistogramSnapshot::from_values(&a), HistogramSnapshot::from_values(&b));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+
+    fn histogram_merge_is_associative(a in values(), b in values(), c in values()) {
+        let sa = HistogramSnapshot::from_values(&a);
+        let sb = HistogramSnapshot::from_values(&b);
+        let sc = HistogramSnapshot::from_values(&c);
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    fn histogram_merge_matches_concatenation(a in values(), b in values()) {
+        let merged = HistogramSnapshot::from_values(&a)
+            .merge(&HistogramSnapshot::from_values(&b));
+        let concat: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged, HistogramSnapshot::from_values(&concat));
+        // Count and sum are exactly the concatenation's.
+        prop_assert_eq!(
+            HistogramSnapshot::from_values(&concat).count,
+            (a.len() + b.len()) as u64
+        );
+    }
+
+    fn counter_total_scheduling_independent(
+        increments in vec(0u64..1_000_000, 0..64),
+        threads in prop_oneof![Just(1usize), Just(2usize), Just(8usize)]
+    ) {
+        obs::set_enabled(true);
+        let c = obs::counter(&unique_name("prop.counter"));
+        par::par_map_threads(threads, &increments, |_, &n| c.add(n));
+        prop_assert_eq!(c.total(), increments.iter().sum::<u64>());
+    }
+
+    fn span_count_scheduling_independent(
+        n_spans in 0usize..64,
+        threads in prop_oneof![Just(1usize), Just(2usize), Just(8usize)]
+    ) {
+        obs::set_enabled(true);
+        let h = obs::histogram(&unique_name("prop.hist"));
+        let items: Vec<usize> = (0..n_spans).collect();
+        par::par_map_threads(threads, &items, |_, &i| {
+            h.record(i as u64);
+        });
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, n_spans as u64);
+        prop_assert_eq!(snap.sum, items.iter().map(|&i| i as u64).sum::<u64>());
+    }
+
+    fn report_round_trips_through_json(r in report_strategy()) {
+        let text = r.to_json().dump();
+        let parsed = Json::parse(&text).expect("parse emitted JSON");
+        let back = Report::from_json(&parsed).expect("decode report");
+        prop_assert_eq!(back, r);
+    }
+
+    fn snapshot_mean_sits_inside_bucket_range(vs in values()) {
+        let s = HistogramSnapshot::from_values(&vs);
+        if let Some(mean) = s.mean() {
+            let lo = vs.iter().min().copied().unwrap_or(0) as f64;
+            let hi = vs.iter().max().copied().unwrap_or(0) as f64;
+            prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9, "mean {mean} outside [{lo}, {hi}]");
+        } else {
+            prop_assert!(vs.is_empty());
+        }
+    }
+}

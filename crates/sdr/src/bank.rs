@@ -38,6 +38,8 @@ impl TxBank {
     ) -> Self {
         assert!(n > 0, "need at least one device");
         assert_eq!(offsets_hz.len(), n, "one offset per device required");
+        let _span = ivn_runtime::span!("sdr.bank_synthesis_ns");
+        ivn_runtime::obs_count!("sdr.devices_tuned", n);
         let trigger_offsets = clock.draw_trigger_offsets(rng, n);
         let devices = (0..n)
             .map(|i| {
@@ -104,6 +106,7 @@ impl TxBank {
     /// `profile` holds one amplitude per sample (1.0 = full carrier); the
     /// emission lasts `profile.len()` samples.
     pub fn emit(&self, i: usize, profile: &[f64], drive: f64) -> IqBuffer {
+        ivn_runtime::obs_count!("sdr.emissions", 1);
         let dev = &self.devices[i];
         let mut osc = Oscillator::new(self.soft_offsets_hz[i], self.sample_rate);
         // Trigger offset expressed as a (fractional) sample shift of the

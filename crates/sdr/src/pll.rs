@@ -56,6 +56,7 @@ impl Pll {
     /// Tunes to the nearest achievable frequency to `target_hz`, latching
     /// a fresh random phase. Returns the actually tuned frequency.
     pub fn tune<R: Rng + ?Sized>(&mut self, rng: &mut R, target_hz: f64) -> f64 {
+        ivn_runtime::obs_count!("sdr.pll_locks", 1);
         let quantized = (target_hz / self.step_hz).round() * self.step_hz;
         let err = if self.frac_error > 0.0 {
             // Uniform in ±frac_error.

@@ -15,7 +15,30 @@ cargo test -q --offline --workspace
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> runtime bench (BENCH_runtime.json)"
-IVN_BENCH_FAST="${IVN_BENCH_FAST:-1}" cargo run --release --offline -p ivn-bench --bin bench_runtime
+echo "==> golden vectors (protocol stack byte-for-byte)"
+cargo test -q --offline -p ivn --test golden_vectors
+
+echo "==> observability suites (unit + property)"
+cargo test -q --offline -p ivn-runtime obs
+cargo test -q --offline -p ivn-runtime --test obs_props
+
+echo "==> runtime bench with observability (BENCH_runtime.json)"
+IVN_BENCH_FAST="${IVN_BENCH_FAST:-1}" cargo run --release --offline -p ivn-bench --bin bench_runtime -- --obs
+
+echo "==> BENCH_runtime.json carries per-stage timings + obs report"
+for stage in sdr em harvester rfid freqsel; do
+    grep -q "\"$stage\"" BENCH_runtime.json || {
+        echo "verify: FAIL — stage '$stage' missing from BENCH_runtime.json" >&2
+        exit 1
+    }
+done
+grep -q '"obs_report"' BENCH_runtime.json || {
+    echo "verify: FAIL — obs_report missing from BENCH_runtime.json" >&2
+    exit 1
+}
+grep -q 'harvester.power_up_ns' BENCH_runtime.json || {
+    echo "verify: FAIL — span histogram missing from obs report" >&2
+    exit 1
+}
 
 echo "verify: OK"

@@ -51,6 +51,35 @@ fn gain_vs_antennas_identical_across_thread_counts() {
 }
 
 #[test]
+fn obs_instrumentation_never_perturbs_results() {
+    // The observability layer must be a pure observer: running the same
+    // experiment with tracing enabled yields byte-identical output at
+    // every thread count. Compute the reference with obs off, then flip
+    // the global flag on and re-run across the thread sweep.
+    ivn_runtime::obs::set_enabled(false);
+    let reference = peak_gain_cdf_threads(&PAPER_OFFSETS_HZ[..5], 48, 384, 7, 1);
+    ivn_runtime::obs::set_enabled(true);
+    for threads in THREAD_COUNTS {
+        let cdf = peak_gain_cdf_threads(&PAPER_OFFSETS_HZ[..5], 48, 384, 7, threads);
+        assert_eq!(cdf.len(), reference.len(), "{threads} threads");
+        for (i, (a, b)) in cdf.samples().iter().zip(reference.samples()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "obs-on sample {i} differs at {threads} threads: {a} vs {b}"
+            );
+        }
+    }
+    // And the instrumentation actually fired while enabled.
+    let report = ivn_runtime::obs::report();
+    assert!(
+        report.counter("experiment.trials").unwrap_or(0) >= 48 * THREAD_COUNTS.len() as u64,
+        "experiment.trials missing from report"
+    );
+    ivn_runtime::obs::set_enabled(false);
+}
+
+#[test]
 fn repeated_runs_are_bit_identical() {
     // Same seed, same thread count: the whole pipeline is a pure function
     // of the seed.

@@ -5,21 +5,14 @@
 use ivn::core::oob::{OobReader, OobReaderConfig};
 use ivn::dsp::complex::Complex64;
 use ivn::dsp::noise::{AwgnSource, PhaseNoise};
-use ivn::rfid::commands::{Command, DivideRatio, Session, TagEncoding};
-use ivn::rfid::pie::{decode_frame, encode_frame, rasterize, PieParams};
+use ivn::rfid::commands::Command;
+use ivn::rfid::pie::decode_frame;
 use ivn::rfid::tag::{Tag, TagReply, TagState};
 use ivn::sdr::clock::ClockDistribution;
 use ivn_runtime::rng::StdRng;
 
-fn query() -> Command {
-    Command::Query {
-        dr: DivideRatio::Dr8,
-        m: TagEncoding::Fm0,
-        trext: false,
-        session: Session::S0,
-        q: 0,
-    }
-}
+mod common;
+use common::{query, rasterized_query};
 
 #[test]
 fn uplink_degrades_gracefully_with_noise() {
@@ -52,13 +45,11 @@ fn uplink_degrades_gracefully_with_noise() {
 
 #[test]
 fn pie_decoding_survives_moderate_amplitude_noise() {
-    let p = PieParams::paper_defaults();
-    let bits = query().encode();
-    let runs = encode_frame(&bits, &p, true);
+    let (bits, clean_env) = rasterized_query(400e3, 0.0);
     let mut rng = StdRng::seed_from_u64(2);
     // 5 % amplitude noise: fine. 45 %: must fail (not silently succeed).
     let mut decode_with_noise = |sigma: f64| -> bool {
-        let mut env = rasterize(&runs, 400e3, 0.0);
+        let mut env = clean_env.clone();
         let mut noise = AwgnSource::new(sigma * sigma);
         for v in env.iter_mut() {
             *v = (*v + noise.sample(&mut rng).re).max(0.0);
@@ -155,11 +146,8 @@ fn trigger_slop_breaks_command_synchrony_predictably() {
     // With Octoclock-grade sync every device keys the same notch; with
     // millisecond slop the superposed envelope no longer carries clean
     // PIE notches and the tag cannot decode.
-    let p = PieParams::paper_defaults();
-    let bits = query().encode();
-    let runs = encode_frame(&bits, &p, true);
     let rate = 400e3;
-    let profile = rasterize(&runs, rate, 0.0);
+    let (bits, profile) = rasterized_query(rate, 0.0);
     let mut rng = StdRng::seed_from_u64(6);
 
     let decode_with_clock = |clock: &ClockDistribution, rng: &mut StdRng| -> bool {

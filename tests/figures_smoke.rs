@@ -1,6 +1,9 @@
 //! Smoke tests over the figure-reproduction harness: every `reproduce`
 //! target runs in quick mode and yields the paper's qualitative shape.
 
+mod common;
+use common::numeric_rows;
+
 #[test]
 fn fig2_threshold_blocks_small_voltages() {
     let s = ivn_bench::fig02_diode::run(true);
@@ -17,16 +20,9 @@ fn fig2_threshold_blocks_small_voltages() {
 fn fig3_exponential_tissue_loss() {
     let s = ivn_bench::fig03_tissue_loss::run(true);
     // Parse the last row: tissue loss must exceed air loss by > 20 dB.
-    let last = s
-        .lines()
-        .filter(|l| l.trim_start().starts_with(char::is_numeric))
-        .next_back()
-        .unwrap();
-    let cells: Vec<f64> = last
-        .split_whitespace()
-        .filter_map(|t| t.parse().ok())
-        .collect();
-    assert!(cells[2] - cells[1] > 20.0, "{last}");
+    let rows = numeric_rows(&s);
+    let cells = rows.last().unwrap();
+    assert!(cells[2] - cells[1] > 20.0, "{cells:?}");
 }
 
 #[test]
@@ -45,11 +41,7 @@ fn fig6_separation() {
 #[test]
 fn fig9_monotone_gain() {
     let s = ivn_bench::fig09_gain_vs_antennas::run(true);
-    let medians: Vec<f64> = s
-        .lines()
-        .filter(|l| l.trim_start().starts_with(char::is_numeric))
-        .map(|l| l.split_whitespace().nth(2).unwrap().parse::<f64>().unwrap())
-        .collect();
+    let medians: Vec<f64> = numeric_rows(&s).iter().map(|cells| cells[2]).collect();
     assert_eq!(medians.len(), 10);
     assert!(medians[9] > 10.0 * medians[0], "{medians:?}");
 }
