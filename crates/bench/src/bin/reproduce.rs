@@ -1,7 +1,7 @@
 //! `reproduce` — regenerates every table and figure of the IVN paper.
 //!
 //! ```text
-//! reproduce <target> [--quick] [--obs]
+//! reproduce <target> [--quick] [--obs] [--obs-json <path>] [--trace <path>]
 //!
 //! targets:
 //!   fig2    diode I-V curves (ideal vs threshold)
@@ -16,35 +16,139 @@
 //!   invivo  swine campaign (§6.2 / Fig. 15)
 //!   freqs   frequency-plan optimization (§5)
 //!   ablations   design-choice ablations
+//!   pipeline    end-to-end sample-path chain (all five crates)
 //!   all     everything above in order
 //! ```
 //!
-//! `--obs` enables the `ivn_runtime::obs` observability layer for the
-//! run and appends the metric report (span timings, per-crate counters)
-//! after the figure output. Observability never changes figure bytes —
-//! `tests/determinism.rs` pins that.
+//! `--obs` enables the `ivn_runtime::obs` observability layer for the run
+//! and appends the rendered metric report (span timings, per-crate
+//! counters) after the figure output; `--obs-json <path>` additionally (or
+//! instead) writes the report as JSON to `path`, keeping stdout text-only.
+//! `--trace <path>` records a timeline with `ivn_runtime::trace` and
+//! writes Chrome Trace Event JSON to `path` — open it in Perfetto /
+//! `chrome://tracing`, or feed it to the `trace_report` binary.
+//! Instrumentation never changes figure bytes — `tests/determinism.rs`
+//! pins that.
 
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let with_obs = args.iter().any(|a| a == "--obs");
-    let target = args.iter().find(|a| !a.starts_with('-')).cloned();
+const ALL_TARGETS: [&str; 13] = [
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig6",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "invivo",
+    "freqs",
+    "ablations",
+    "pipeline",
+];
 
-    let Some(target) = target else {
-        eprintln!("usage: reproduce <fig2|fig3|fig4|fig6|fig9|fig10|fig11|fig12|fig13|invivo|freqs|ablations|all> [--quick] [--obs]");
+const USAGE: &str = "usage: reproduce <fig2|fig3|fig4|fig6|fig9|fig10|fig11|fig12|fig13|invivo|freqs|ablations|pipeline|all> [--quick] [--obs] [--obs-json <path>] [--trace <path>]";
+
+struct Args {
+    target: Option<String>,
+    quick: bool,
+    with_obs: bool,
+    obs_json: Option<String>,
+    trace_path: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        target: None,
+        quick: false,
+        with_obs: false,
+        obs_json: None,
+        trace_path: None,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" | "-q" => args.quick = true,
+            "--obs" => args.with_obs = true,
+            "--obs-json" => {
+                let path = it.next().ok_or("--obs-json needs a path")?;
+                args.obs_json = Some(path.clone());
+            }
+            "--trace" => {
+                let path = it.next().ok_or("--trace needs a path")?;
+                args.trace_path = Some(path.clone());
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            target => {
+                if args.target.is_some() {
+                    return Err(format!("unexpected extra target '{target}'"));
+                }
+                args.target = Some(target.to_string());
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("reproduce: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(target) = args.target else {
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    let quick = args.quick;
 
-    if with_obs {
+    // --obs-json implies collecting metrics even without --obs.
+    if args.with_obs || args.obs_json.is_some() {
         ivn_runtime::obs::set_enabled(true);
     }
-    let print_obs_report = || {
-        if with_obs {
-            println!("\n── observability report ──");
-            print!("{}", ivn_runtime::obs::report().render());
+    if args.trace_path.is_some() {
+        ivn_runtime::trace::set_enabled(true);
+    }
+
+    let finish = || -> ExitCode {
+        if args.with_obs || args.obs_json.is_some() {
+            let report = ivn_runtime::obs::report();
+            if let Some(path) = &args.obs_json {
+                use ivn_runtime::json::ToJson;
+                if let Err(e) = std::fs::write(path, report.to_json().dump() + "\n") {
+                    eprintln!("reproduce: cannot write obs report to {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote obs report to {path}");
+            }
+            if args.with_obs {
+                println!("\n── observability report ──");
+                print!("{}", report.render());
+            }
         }
+        if let Some(path) = &args.trace_path {
+            ivn_runtime::trace::set_enabled(false);
+            let trace = ivn_runtime::trace::snapshot();
+            let doc = trace.to_chrome_json();
+            if let Err(e) = std::fs::write(path, doc.dump() + "\n") {
+                eprintln!("reproduce: cannot write trace to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote trace to {path} ({} events{}) — open in Perfetto or run trace_report",
+                trace.events.len(),
+                if trace.dropped > 0 {
+                    format!(", {} dropped to ring wraparound", trace.dropped)
+                } else {
+                    String::new()
+                }
+            );
+        }
+        ExitCode::SUCCESS
     };
 
     let render = |name: &str| -> Option<String> {
@@ -61,39 +165,25 @@ fn main() -> ExitCode {
             "invivo" => ivn_bench::fig15_invivo::run(quick),
             "freqs" => ivn_bench::tbl_freqs::run(quick),
             "ablations" => ivn_bench::ablations::run(quick),
+            "pipeline" => ivn_bench::pipeline::run(quick),
             _ => return None,
         })
     };
 
     if target == "all" {
-        for name in [
-            "fig2",
-            "fig3",
-            "fig4",
-            "fig6",
-            "fig9",
-            "fig10",
-            "fig11",
-            "fig12",
-            "fig13",
-            "invivo",
-            "freqs",
-            "ablations",
-        ] {
+        for name in ALL_TARGETS {
             print!("{}", render(name).expect("known target"));
         }
-        print_obs_report();
-        return ExitCode::SUCCESS;
+        return finish();
     }
 
     match render(&target) {
         Some(s) => {
             print!("{s}");
-            print_obs_report();
-            ExitCode::SUCCESS
+            finish()
         }
         None => {
-            eprintln!("unknown target '{target}'");
+            eprintln!("unknown target '{target}'\n{USAGE}");
             ExitCode::FAILURE
         }
     }

@@ -25,6 +25,12 @@ pub mod tbl_freqs;
 /// Ablation studies for the design choices DESIGN.md calls out.
 pub mod ablations;
 
+/// End-to-end sample-path chain (freqsel → sdr → em → harvester → rfid).
+pub mod pipeline;
+
+/// Offline analyzer for Chrome Trace Event JSON produced under `--trace`.
+pub mod trace_analysis;
+
 /// Formats a row of columns with fixed widths for terminal tables.
 pub fn row(cells: &[String], width: usize) -> String {
     cells

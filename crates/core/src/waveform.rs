@@ -113,7 +113,18 @@ impl CibEnvelope {
             }
         }
         let t = 0.5 * (lo + hi);
-        (t.rem_euclid(1.0), self.envelope(t))
+        let y = self.envelope(t);
+        // Physics probes: the found peak amplitude, and how close the N
+        // carriers came to perfect phase alignment there (Y_peak / Σaᵢ;
+        // 1.0 = fully coherent).
+        ivn_runtime::trace_counter!("physics.envelope_peak", y);
+        if ivn_runtime::trace::enabled() {
+            let ceiling = self.ceiling();
+            if ceiling > 0.0 {
+                ivn_runtime::trace_counter!("physics.phase_alignment", y / ceiling);
+            }
+        }
+        (t.rem_euclid(1.0), y)
     }
 
     /// Peak *power* gain over a single reference antenna of amplitude

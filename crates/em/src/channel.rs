@@ -186,6 +186,7 @@ impl ChannelEnsemble {
 
     /// All responses at one frequency.
     pub fn responses(&self, freq_hz: f64) -> Vec<Complex64> {
+        let _span = ivn_runtime::span!("em.ensemble_responses_ns");
         ivn_runtime::obs_count!("em.channel_evals", self.channels.len());
         self.channels.iter().map(|c| c.response(freq_hz)).collect()
     }

@@ -103,12 +103,23 @@ impl TagPowerProfile {
         let mut v = 0.0;
         let mut awake_at = None;
         let mut v_peak: f64 = 0.0;
+        // Physics probe: sample the energy banked in the storage cap
+        // (½·C·V², joules) at ~32 points across the transient. The stride
+        // check stays behind the enabled() load so the charge loop pays
+        // one relaxed load per step when tracing is off.
+        let charge_stride = (vs.len() / 32).max(1);
         for (n, &amp) in vs.iter().enumerate() {
             let i_load = if awake_at.is_some() { self.i_chip } else { 0.0 };
             v = self.rectifier.step(v, amp, dt, self.c_storage, i_load);
             v_peak = v_peak.max(v);
             if awake_at.is_none() && v >= self.v_operate {
                 awake_at = Some(n);
+            }
+            if ivn_runtime::trace::enabled() && n % charge_stride == 0 {
+                ivn_runtime::trace_counter!(
+                    "physics.harvested_charge_j",
+                    0.5 * self.c_storage * v * v
+                );
             }
         }
         if awake_at.is_some() {

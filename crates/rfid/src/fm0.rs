@@ -29,6 +29,7 @@ impl Fm0 {
     /// Encodes bits into half-symbol levels (`±1.0`), starting from level
     /// `+1`. Each bit yields two half-symbols.
     pub fn encode_halves(&self, bits: &[bool]) -> Vec<f64> {
+        let _span = ivn_runtime::span!("rfid.fm0_encode_ns");
         ivn_runtime::obs_count!("rfid.fm0_symbols_encoded", bits.len());
         let mut out = Vec::with_capacity(bits.len() * 2);
         let mut level = 1.0;
@@ -57,6 +58,7 @@ impl Fm0 {
     /// scale and either polarity; requires sample alignment (the reader's
     /// correlator provides the offset).
     pub fn decode(&self, samples: &[f64]) -> Vec<bool> {
+        let _span = ivn_runtime::span!("rfid.fm0_decode_ns");
         let spb = self.samples_per_half * 2;
         ivn_runtime::obs_count!("rfid.fm0_symbols_decoded", samples.len() / spb);
         let mut bits = Vec::with_capacity(samples.len() / spb);

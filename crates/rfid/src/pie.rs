@@ -81,6 +81,7 @@ pub type LevelRuns = Vec<(bool, f64)>;
 /// `with_trcal` must be true for Query (full preamble) and false for all
 /// other commands (frame-sync only).
 pub fn encode_frame(bits: &[bool], p: &PieParams, with_trcal: bool) -> LevelRuns {
+    let _span = ivn_runtime::span!("rfid.pie_encode_ns");
     ivn_runtime::obs_count!("rfid.pie_symbols_encoded", bits.len());
     let mut runs: LevelRuns = Vec::with_capacity(2 * bits.len() + 10);
     // Symbols are "high for (duration − PW), then low for PW".
@@ -144,6 +145,7 @@ pub enum PieError {
 /// so it inherits the paper's amplitude-flatness requirement: if the CIB
 /// envelope droops too much during the frame, notches are missed.
 pub fn decode_frame(envelope: &[f64], sample_rate: f64) -> Result<Vec<bool>, PieError> {
+    let _span = ivn_runtime::span!("rfid.pie_decode_ns");
     let result = decode_frame_inner(envelope, sample_rate);
     match &result {
         Ok(bits) => ivn_runtime::obs_count!("rfid.pie_symbols_decoded", bits.len()),

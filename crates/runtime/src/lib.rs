@@ -22,6 +22,12 @@
 //!   gauges and power-of-two histograms behind one global enable flag,
 //!   snapshotted into an [`obs::Report`] that serializes through
 //!   [`json`]. Off by default and free when off.
+//! * [`trace`] — timeline tracing: per-thread lock-free ring buffers of
+//!   begin/end/instant/counter events ([`trace_span!`],
+//!   [`trace_counter!`], [`trace_instant!`]), exported to Chrome Trace
+//!   Event Format JSON for `chrome://tracing` / Perfetto. Same
+//!   off-by-default, free-when-off contract as [`obs`]; [`span!`] feeds
+//!   both layers from one call site.
 //!
 //! Design notes live in DESIGN.md §"Runtime layer".
 
@@ -31,3 +37,4 @@ pub mod obs;
 pub mod par;
 pub mod prop;
 pub mod rng;
+pub mod trace;

@@ -581,7 +581,33 @@ impl Drop for Timer {
     }
 }
 
-/// Times the enclosing scope into the named histogram.
+/// Combined guard from [`span!`](crate::span): an `obs` histogram
+/// [`Timer`] plus a [`trace`](crate::trace) timeline span over the same
+/// scope. Either half is a no-op when its layer is disabled.
+///
+/// Field order matters: the timer drops (and records its duration) before
+/// the trace end event is emitted, so histogram numbers never include the
+/// cost of the timeline write.
+#[must_use = "a span records when it drops; bind it with `let _span = ...`"]
+#[derive(Debug)]
+pub struct Span {
+    _timer: Timer,
+    _trace: crate::trace::TraceSpan,
+}
+
+impl Span {
+    /// Pairs an obs timer with a timeline span.
+    #[inline]
+    pub fn new(timer: Timer, trace: crate::trace::TraceSpan) -> Span {
+        Span {
+            _timer: timer,
+            _trace: trace,
+        }
+    }
+}
+
+/// Times the enclosing scope into the named histogram, and emits matching
+/// begin/end events on the current [`trace`](crate::trace) track.
 ///
 /// ```
 /// # use ivn_runtime::span;
@@ -589,18 +615,26 @@ impl Drop for Timer {
 /// // ... work ...
 /// ```
 ///
-/// The histogram lookup is cached per call site; when observability is
-/// off the expansion is one relaxed load and an untaken branch.
+/// The histogram and the interned trace token are each cached per call
+/// site; with both layers off the expansion is two relaxed loads and two
+/// untaken branches.
 #[macro_export]
 macro_rules! span {
     ($name:expr) => {{
-        if $crate::obs::enabled() {
+        let timer = if $crate::obs::enabled() {
             static SPAN: std::sync::OnceLock<&'static $crate::obs::Histogram> =
                 std::sync::OnceLock::new();
             $crate::obs::Timer::start(SPAN.get_or_init(|| $crate::obs::histogram($name)))
         } else {
             $crate::obs::Timer::noop()
-        }
+        };
+        let trace = if $crate::trace::enabled() {
+            static TOK: std::sync::OnceLock<$crate::trace::Token> = std::sync::OnceLock::new();
+            $crate::trace::TraceSpan::enter(*TOK.get_or_init(|| $crate::trace::intern($name)))
+        } else {
+            $crate::trace::TraceSpan::noop()
+        };
+        $crate::obs::Span::new(timer, trace)
     }};
 }
 

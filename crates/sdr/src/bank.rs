@@ -106,6 +106,7 @@ impl TxBank {
     /// `profile` holds one amplitude per sample (1.0 = full carrier); the
     /// emission lasts `profile.len()` samples.
     pub fn emit(&self, i: usize, profile: &[f64], drive: f64) -> IqBuffer {
+        let _span = ivn_runtime::span!("sdr.emit_ns");
         ivn_runtime::obs_count!("sdr.emissions", 1);
         let dev = &self.devices[i];
         let mut osc = Oscillator::new(self.soft_offsets_hz[i], self.sample_rate);

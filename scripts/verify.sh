@@ -22,6 +22,24 @@ echo "==> observability suites (unit + property)"
 cargo test -q --offline -p ivn-runtime obs
 cargo test -q --offline -p ivn-runtime --test obs_props
 
+echo "==> timeline-trace suites (unit + ring-buffer edge cases + analyzer)"
+cargo test -q --offline -p ivn-runtime trace
+cargo test -q --offline -p ivn-runtime --test trace_props
+cargo test -q --offline -p ivn-bench --lib trace_analysis
+
+echo "==> trace round trip: reproduce --trace → in-tree JSON parse → balance check"
+TRACE_OUT=target/verify_trace.json
+cargo run --release --offline -p ivn-bench --bin reproduce -- pipeline --quick --trace "$TRACE_OUT" > /dev/null
+# trace_report --check parses through the in-tree JSON layer, requires a
+# non-empty traceEvents array, and verifies every B has a matching E.
+cargo run --release --offline -p ivn-bench --bin trace_report -- "$TRACE_OUT" --check
+for span in sdr.emit_ns em.ensemble_responses_ns harvester.power_up_ns rfid.pie_decode_ns freqsel.mc_eval_ns physics.envelope_peak physics.harvested_charge_j; do
+    grep -q "\"$span\"" "$TRACE_OUT" || {
+        echo "verify: FAIL — '$span' missing from $TRACE_OUT" >&2
+        exit 1
+    }
+done
+
 echo "==> runtime bench with observability (BENCH_runtime.json)"
 IVN_BENCH_FAST="${IVN_BENCH_FAST:-1}" cargo run --release --offline -p ivn-bench --bin bench_runtime -- --obs
 
@@ -40,5 +58,17 @@ grep -q 'harvester.power_up_ns' BENCH_runtime.json || {
     echo "verify: FAIL — span histogram missing from obs report" >&2
     exit 1
 }
+
+echo "==> instrumentation overhead recorded and under 2%"
+pct=$(sed -n 's/.*"obs_overhead_pct":\(-\{0,1\}[0-9.eE+-]*\).*/\1/p' BENCH_runtime.json)
+[ -n "$pct" ] || {
+    echo "verify: FAIL — obs_overhead_pct missing from BENCH_runtime.json" >&2
+    exit 1
+}
+awk -v v="$pct" 'BEGIN { exit !(v < 2.0) }' || {
+    echo "verify: FAIL — obs_overhead_pct=$pct is not < 2%" >&2
+    exit 1
+}
+echo "obs_overhead_pct=$pct"
 
 echo "verify: OK"

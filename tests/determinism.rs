@@ -80,6 +80,44 @@ fn obs_instrumentation_never_perturbs_results() {
 }
 
 #[test]
+fn trace_instrumentation_never_perturbs_results() {
+    // Same guarantee as the obs test, for the timeline layer: recording
+    // begin/end events and physics counter samples into the per-thread
+    // rings must leave experiment outputs byte-identical at every thread
+    // count.
+    ivn_runtime::trace::set_enabled(false);
+    let reference = peak_gain_cdf_threads(&PAPER_OFFSETS_HZ[..5], 48, 384, 11, 1);
+    ivn_runtime::trace::set_enabled(true);
+    for threads in THREAD_COUNTS {
+        let cdf = peak_gain_cdf_threads(&PAPER_OFFSETS_HZ[..5], 48, 384, 11, threads);
+        assert_eq!(cdf.len(), reference.len(), "{threads} threads");
+        for (i, (a, b)) in cdf.samples().iter().zip(reference.samples()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "trace-on sample {i} differs at {threads} threads: {a} vs {b}"
+            );
+        }
+    }
+    ivn_runtime::trace::set_enabled(false);
+    // And the timeline actually recorded while enabled: experiment spans
+    // plus at least one physics counter track.
+    let snap = ivn_runtime::trace::snapshot();
+    assert!(
+        snap.events
+            .iter()
+            .any(|e| e.name == "experiment.peak_gain_cdf_ns"),
+        "experiment span missing from trace"
+    );
+    assert!(
+        snap.events
+            .iter()
+            .any(|e| e.name == "physics.envelope_peak"),
+        "physics probe missing from trace"
+    );
+}
+
+#[test]
 fn repeated_runs_are_bit_identical() {
     // Same seed, same thread count: the whole pipeline is a pure function
     // of the seed.
