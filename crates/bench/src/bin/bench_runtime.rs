@@ -1,12 +1,13 @@
 //! Runtime-layer benchmark: serial vs parallel Monte-Carlo wall-clock,
 //! plus a per-stage breakdown of the pipeline.
 //!
-//! Times `peak_gain_cdf` on one worker thread against the machine's full
-//! worker-pool width, verifies the two produce bit-identical results,
-//! times one representative workload per pipeline stage (sdr, em,
-//! harvester, rfid, freqsel), and writes `BENCH_runtime.json`
-//! (machine-readable, via the in-tree JSON layer) to the current
-//! directory.
+//! Sweeps `peak_gain_cdf` across worker-pool widths 1/2/4/8, verifies
+//! every width produces bit-identical results, records per-width
+//! speedups (`"parallel_sweep"` in the JSON), times one representative
+//! workload per pipeline stage (sdr, em, harvester, rfid, freqsel) and
+//! per envelope kernel (fill_direct, fill_fft, swap_eval, climb), and
+//! writes `BENCH_runtime.json` (machine-readable, via the in-tree JSON
+//! layer) to the current directory.
 //!
 //! With `--obs`, observability (`ivn_runtime::obs`) is enabled for the
 //! stage runs and the resulting metric `Report` is embedded in the JSON
@@ -33,6 +34,11 @@ use ivn_runtime::trace;
 
 const SEED: u64 = 42;
 const GRID: usize = 1024;
+
+/// Worker-pool widths the parallel sweep measures. The pool spawns
+/// exactly the requested count regardless of the machine's core count,
+/// so oversubscribed widths still produce honest (if flat) speedups.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 /// Overhead of turning instrumentation on, as a percentage of the
 /// baseline `peak_gain_cdf` wall-clock with everything off.
@@ -158,6 +164,47 @@ fn stage_workload(stage: &str, fast: bool) -> f64 {
     }
 }
 
+/// One micro-workload per envelope kernel (`ivn_core::kernels`). These
+/// run with the same obs/trace state as the stage benches, so with
+/// `--obs` the incremental-climb span `freqsel.kernel_incr_ns` lands in
+/// the embedded report alongside the batched-eval spans.
+fn kernel_workload(kernel: &str, fast: bool) -> f64 {
+    use ivn_core::freqsel::{optimize, FreqSelConfig};
+    use ivn_core::kernels::EnvelopeScratch;
+    // Fixed, arbitrary per-tone phases: the kernels are deterministic
+    // given phases, so the micro-benches need no RNG in the hot loop.
+    let phases: Vec<f64> = (0..PAPER_OFFSETS_HZ.len())
+        .map(|i| 0.37 * (i as f64 + 1.0))
+        .collect();
+    match kernel {
+        "fill_direct" => {
+            let mut s = EnvelopeScratch::new();
+            s.fill_direct(&PAPER_OFFSETS_HZ, &phases, None, GRID);
+            s.peak(&PAPER_OFFSETS_HZ, &phases, None)
+        }
+        "fill_fft" => {
+            let mut s = EnvelopeScratch::new();
+            s.fill_fft(&PAPER_OFFSETS_HZ, &phases, None, GRID);
+            s.peak(&PAPER_OFFSETS_HZ, &phases, None)
+        }
+        "climb" => {
+            // A miniature end-to-end optimize() so the incremental span
+            // shows up in the obs report with realistic call counts.
+            let cfg = FreqSelConfig {
+                n_antennas: 4,
+                rms_limit_hz: 199.0,
+                max_offset_hz: 96,
+                mc_draws: if fast { 8 } else { 24 },
+                grid: 256,
+                restarts: 2,
+                iterations: if fast { 24 } else { 60 },
+            };
+            optimize(&cfg, SEED).expected_peak
+        }
+        other => unreachable!("unknown kernel {other}"),
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let with_obs = argv.iter().any(|a| a == "--obs");
@@ -171,13 +218,16 @@ fn main() {
     let threads = par::num_threads();
     let offsets = &PAPER_OFFSETS_HZ[..5];
 
-    // The parallel path must change only how fast the answer arrives.
+    // The parallel path must change only how fast the answer arrives:
+    // every sweep width has to be bit-identical to the serial run.
     let serial = peak_gain_cdf_threads(offsets, trials, GRID, SEED, 1);
-    let parallel = peak_gain_cdf_threads(offsets, trials, GRID, SEED, threads);
-    assert_eq!(
-        serial, parallel,
-        "parallel peak_gain_cdf diverged from serial"
-    );
+    for &t in &THREAD_SWEEP[1..] {
+        let parallel = peak_gain_cdf_threads(offsets, trials, GRID, SEED, t);
+        assert_eq!(
+            serial, parallel,
+            "peak_gain_cdf at {t} threads diverged from serial"
+        );
+    }
 
     let mut b = Bench::new();
     let serial_ns = b
@@ -185,13 +235,30 @@ fn main() {
             black_box(peak_gain_cdf_threads(offsets, trials, GRID, SEED, 1))
         })
         .median_ns;
-    let parallel_ns = b
-        .bench(&format!("peak_gain_cdf/parallel_x{threads}"), || {
-            black_box(peak_gain_cdf_threads(offsets, trials, GRID, SEED, threads))
-        })
-        .median_ns;
+    let mut sweep_entries = Vec::new();
+    let mut parallel_ns = serial_ns;
+    for &t in &THREAD_SWEEP {
+        let ns = if t == 1 {
+            serial_ns
+        } else {
+            b.bench(&format!("peak_gain_cdf/parallel_x{t}"), || {
+                black_box(peak_gain_cdf_threads(offsets, trials, GRID, SEED, t))
+            })
+            .median_ns
+        };
+        let speedup = serial_ns / ns;
+        println!("threads {t}: median {ns:.0} ns, speedup {speedup:.2}x");
+        sweep_entries.push(Json::obj([
+            ("threads", t.into()),
+            ("median_ns", ns.into()),
+            ("speedup", speedup.into()),
+        ]));
+        if t == THREAD_SWEEP[THREAD_SWEEP.len() - 1] {
+            parallel_ns = ns;
+        }
+    }
     let speedup = serial_ns / parallel_ns;
-    println!("worker threads: {threads}, speedup: {speedup:.2}x");
+    println!("worker pool width: {threads}, widest-sweep speedup: {speedup:.2}x");
 
     // What does flipping the instrumentation on actually cost?
     let (obs_overhead_pct, trace_overhead_pct) = measure_overhead(offsets);
@@ -223,6 +290,39 @@ fn main() {
             ("min_ns", r.min_ns.into()),
         ]));
     }
+    // Envelope-kernel micro-benches, under the same obs/trace state so
+    // their spans feed the same report.
+    const KERNELS: [&str; 3] = ["fill_direct", "fill_fft", "climb"];
+    let mut kernel_entries = Vec::new();
+    for kernel in KERNELS {
+        let r = b.bench(&format!("kernel/{kernel}"), || {
+            black_box(kernel_workload(kernel, fast))
+        });
+        println!("kernel {kernel:<12} median {:>12.0} ns", r.median_ns);
+        kernel_entries.push(Json::obj([
+            ("kernel", kernel.into()),
+            ("median_ns", r.median_ns.into()),
+            ("mean_ns", r.mean_ns.into()),
+            ("min_ns", r.min_ns.into()),
+        ]));
+    }
+    {
+        // The hill climber's inner step: one incremental candidate
+        // evaluation over cached per-draw grids (kernel built once, so
+        // the bench isolates the swap itself).
+        use ivn_core::kernels::CrnKernel;
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let draws = if fast { 16 } else { 96 };
+        let mut ck = CrnKernel::new(&PAPER_OFFSETS_HZ, draws, GRID, &mut rng);
+        let r = b.bench("kernel/swap_eval", || black_box(ck.score_swap(3, 55.0)));
+        println!("kernel {:<12} median {:>12.0} ns", "swap_eval", r.median_ns);
+        kernel_entries.push(Json::obj([
+            ("kernel", "swap_eval".into()),
+            ("median_ns", r.median_ns.into()),
+            ("mean_ns", r.mean_ns.into()),
+            ("min_ns", r.min_ns.into()),
+        ]));
+    }
     let obs_report = with_obs.then(|| {
         let report = obs::report();
         obs::set_enabled(false);
@@ -246,9 +346,11 @@ fn main() {
         ("serial_median_ns", serial_ns.into()),
         ("parallel_median_ns", parallel_ns.into()),
         ("speedup", speedup.into()),
+        ("parallel_sweep", Json::Arr(sweep_entries)),
         ("obs_overhead_pct", obs_overhead_pct.into()),
         ("trace_overhead_pct", trace_overhead_pct.into()),
         ("stages", Json::Arr(stage_entries)),
+        ("kernels", Json::Arr(kernel_entries)),
         ("results", b.to_json()),
     ];
     if let Some(report) = obs_report {

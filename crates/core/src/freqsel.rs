@@ -8,9 +8,9 @@
 //! worker pool. A worst-set search (same machinery, minimizing) provides
 //! Fig. 6's bad example.
 
-use crate::waveform::{rms_offset, CibEnvelope};
+use crate::kernels::{CrnKernel, EnvelopeScratch};
+use crate::waveform::rms_offset;
 use ivn_runtime::rng::{Rng, StdRng};
-use std::f64::consts::TAU;
 
 /// Optimizer configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,7 +84,25 @@ impl FrequencyPlan {
 
 /// Monte-Carlo estimate of `E_β[max_t Y(t)]` for an offset set, using
 /// `draws` random phase vectors from `rng`.
+///
+/// Allocates one [`EnvelopeScratch`] for the call; batched evaluation
+/// loops should hold their own scratch and use
+/// [`expected_peak_scratch`].
 pub fn expected_peak<R: Rng + ?Sized>(
+    offsets_hz: &[f64],
+    draws: usize,
+    grid: usize,
+    rng: &mut R,
+) -> f64 {
+    let mut scratch = EnvelopeScratch::new();
+    expected_peak_scratch(&mut scratch, offsets_hz, draws, grid, rng)
+}
+
+/// [`expected_peak`] on a caller-supplied workspace: zero allocations in
+/// steady state (the scratch's grid and phase buffers are reused across
+/// calls and draws).
+pub fn expected_peak_scratch<R: Rng + ?Sized>(
+    scratch: &mut EnvelopeScratch,
     offsets_hz: &[f64],
     draws: usize,
     grid: usize,
@@ -92,18 +110,10 @@ pub fn expected_peak<R: Rng + ?Sized>(
 ) -> f64 {
     assert!(draws > 0);
     let _span = ivn_runtime::span!("freqsel.mc_eval_ns");
+    let _kernel_span = ivn_runtime::span!("freqsel.kernel_batch_ns");
     ivn_runtime::obs_count!("freqsel.mc_evals", 1);
     ivn_runtime::obs_count!("freqsel.mc_draws", draws);
-    let mut acc = 0.0;
-    let mut phases = vec![0.0; offsets_hz.len()];
-    for _ in 0..draws {
-        for p in phases.iter_mut() {
-            *p = rng.random::<f64>() * TAU;
-        }
-        let env = CibEnvelope::new(offsets_hz, &phases);
-        acc += env.peak_over_period(grid).1;
-    }
-    acc / draws as f64
+    scratch.expected_peak(offsets_hz, draws, grid, rng)
 }
 
 /// Whether an offset set satisfies the RMS constraint.
@@ -126,6 +136,10 @@ fn draw_feasible_set<R: Rng + ?Sized>(cfg: &FreqSelConfig, rng: &mut R) -> Vec<u
         if feasible(&offsets, cfg.rms_limit_hz) {
             return std::iter::once(0u32).chain(set).collect();
         }
+        // Rejection-sampling cost is invisible in wall-clock profiles
+        // (the draws are cheap but can loop many times at tight RMS
+        // limits); count them so tight configs show up in reports.
+        ivn_runtime::obs_count!("freqsel.rejection_draws", 1);
         range = (range * 3 / 4).max(cfg.n_antennas as u32);
     }
 }
@@ -136,31 +150,38 @@ fn climb(cfg: &FreqSelConfig, seed: u64, maximize: bool) -> FrequencyPlan {
     let mut current = draw_feasible_set(cfg, &mut rng);
     // Common random numbers: one evaluation seed reused for every
     // candidate in this restart, so the climb compares candidates on the
-    // same phase draws (variance reduction).
+    // same phase draws (variance reduction). The CRN kernel fixes the
+    // phase draws once and caches the per-draw complex grids of the
+    // current set, so each one-tone candidate costs O(grid·draws)
+    // instead of O(N·grid·draws).
     let eval_seed: u64 = rng.random();
-    let eval = |set: &[u32]| -> f64 {
-        let offsets: Vec<f64> = set.iter().map(|&v| v as f64).collect();
-        let mut eval_rng = StdRng::seed_from_u64(eval_seed);
-        expected_peak(&offsets, cfg.mc_draws, cfg.grid, &mut eval_rng)
-    };
-    let mut best_score = eval(&current);
+    let offsets: Vec<f64> = current.iter().map(|&v| v as f64).collect();
+    let mut eval_rng = StdRng::seed_from_u64(eval_seed);
+    let mut kernel = CrnKernel::new(&offsets, cfg.mc_draws, cfg.grid, &mut eval_rng);
+    let mut best_score = kernel.score_current();
+    // Maintained incrementally so feasibility checks allocate nothing.
+    let mut sum_sq: f64 = current.iter().map(|&v| (v as f64) * (v as f64)).sum();
+    let n = current.len() as f64;
     for _ in 0..cfg.iterations {
         // Perturb one non-reference offset.
         let idx = rng.random_range(1..current.len());
         let delta = *[1i64, -1, 2, -2, 5, -5, 11, -11, 23, -23]
             .get(rng.random_range(0..10usize))
             .expect("in range");
-        let mut cand = current.clone();
-        let newv = (cand[idx] as i64 + delta).clamp(1, cfg.max_offset_hz as i64) as u32;
-        if cand.iter().any(|&v| v == newv) {
+        let newv = (current[idx] as i64 + delta).clamp(1, cfg.max_offset_hz as i64) as u32;
+        if current.iter().any(|&v| v == newv) {
             continue; // collision with an existing tone
         }
-        cand[idx] = newv;
-        let offsets: Vec<f64> = cand.iter().map(|&v| v as f64).collect();
-        if !feasible(&offsets, cfg.rms_limit_hz) {
-            continue;
+        let old = current[idx] as f64;
+        let new = newv as f64;
+        let cand_sum_sq = sum_sq - old * old + new * new;
+        if (cand_sum_sq / n).sqrt() > cfg.rms_limit_hz {
+            continue; // infeasible — skip without touching the kernel
         }
-        let s = eval(&cand);
+        let s = {
+            let _span = ivn_runtime::span!("freqsel.kernel_incr_ns");
+            kernel.score_swap(idx, new)
+        };
         let better = if maximize {
             s > best_score
         } else {
@@ -168,7 +189,9 @@ fn climb(cfg: &FreqSelConfig, seed: u64, maximize: bool) -> FrequencyPlan {
         };
         if better {
             best_score = s;
-            current = cand;
+            kernel.commit_swap(idx, new);
+            current[idx] = newv;
+            sum_sq = cand_sum_sq;
         }
     }
     let mut offsets: Vec<f64> = current.iter().map(|&v| v as f64).collect();

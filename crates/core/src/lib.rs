@@ -5,6 +5,8 @@
 //! * [`waveform`] — the CIB envelope `Y(t) = |Σᵢ e^{j(2πΔfᵢt + βᵢ)}|`:
 //!   peak search, amplitude flatness (Eq. 7), the Taylor droop bound
 //!   (Eq. 8/9);
+//! * [`kernels`] — allocation-free batched/incremental/FFT envelope
+//!   kernels the optimizer's Monte-Carlo objective runs on;
 //! * [`freqsel`] — the constrained Monte-Carlo frequency-plan optimizer of
 //!   Eq. 10, plus the worst-set search used for Fig. 6;
 //! * [`cib`] — the CIB transmitter configuration and the analytic
@@ -26,6 +28,7 @@ pub mod cib;
 pub mod experiment;
 pub mod freqsel;
 pub mod hopping;
+pub mod kernels;
 pub mod multisensor;
 pub mod oob;
 pub mod system;

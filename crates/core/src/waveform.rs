@@ -72,21 +72,29 @@ impl CibEnvelope {
     }
 
     /// Samples one period (1 s for integer offsets) on a uniform grid.
+    ///
+    /// Runs on the [`crate::kernels`] layer: incremental rotation with
+    /// periodic exact resynchronization (no unbounded rounding drift),
+    /// switching to the sparse-spectrum FFT synthesis when that is
+    /// cheaper ([`crate::kernels::fft_pays_off`]).
     pub fn sample_period(&self, grid: usize) -> Vec<f64> {
         assert!(grid > 0);
-        // Incremental rotation per tone: O(N·grid) with no trig in the
-        // inner loop.
-        let mut acc = vec![Complex64::ZERO; grid];
-        let dt = 1.0 / grid as f64;
-        for i in 0..self.offsets_hz.len() {
-            let step = Complex64::cis(TAU * self.offsets_hz[i] * dt);
-            let mut ph = Complex64::from_polar(self.amplitudes[i], self.phases[i]);
-            for a in acc.iter_mut() {
-                *a += ph;
-                ph *= step;
-            }
-        }
-        acc.into_iter().map(|z| z.norm()).collect()
+        let mut scratch = crate::kernels::EnvelopeScratch::new();
+        scratch.fill(&self.offsets_hz, &self.phases, Some(&self.amplitudes), grid);
+        scratch.grid().iter().map(|z| z.norm()).collect()
+    }
+
+    /// [`Self::sample_period`] forced through the sparse-spectrum FFT
+    /// path: each integer-hertz tone is one bin of an unnormalized
+    /// inverse DFT. O(grid·log grid) independent of the tone count.
+    ///
+    /// # Panics
+    /// Panics if `grid` is not a power of two or any offset is not an
+    /// exact integer.
+    pub fn sample_period_fft(&self, grid: usize) -> Vec<f64> {
+        let mut scratch = crate::kernels::EnvelopeScratch::new();
+        scratch.fill_fft(&self.offsets_hz, &self.phases, Some(&self.amplitudes), grid);
+        scratch.grid().iter().map(|z| z.norm()).collect()
     }
 
     /// Peak of the envelope over one period: `(t_peak, Y_peak)`.
@@ -263,6 +271,48 @@ mod tests {
         for k in (0..1000).step_by(97) {
             assert!((grid[k] - env.envelope(k as f64 / 1000.0)).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn sample_period_drift_bounded_at_large_grids() {
+        // The incremental-rotation loop resynchronizes from exact trig
+        // every 256 steps, so even at grid = 8192 every sample pins to a
+        // full direct-trig evaluation to 1e-9.
+        let mut rng = StdRng::seed_from_u64(7);
+        let phases: Vec<f64> = (0..10).map(|_| rng.random::<f64>() * TAU).collect();
+        let env = CibEnvelope::new(&PAPER_OFFSETS_HZ, &phases);
+        let grid = env.sample_period(8192);
+        for (k, &g) in grid.iter().enumerate() {
+            let t = k as f64 / 8192.0;
+            let direct = (0..10)
+                .map(|i| Complex64::from_polar(1.0, TAU * PAPER_OFFSETS_HZ[i] * t + phases[i]))
+                .sum::<Complex64>()
+                .norm();
+            assert!(
+                (g - direct).abs() < 1e-9,
+                "drift {} at sample {k}",
+                (g - direct).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn sample_period_fft_matches_direct() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let phases: Vec<f64> = (0..10).map(|_| rng.random::<f64>() * TAU).collect();
+        let amps: Vec<f64> = (0..10).map(|_| 0.5 + rng.random::<f64>()).collect();
+        let env = CibEnvelope::with_amplitudes(&PAPER_OFFSETS_HZ, &phases, &amps);
+        let direct = env.sample_period(1024);
+        let via_fft = env.sample_period_fft(1024);
+        for (a, b) in direct.iter().zip(&via_fft) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn sample_period_fft_rejects_non_pow2() {
+        CibEnvelope::new(&[0.0, 7.0], &[0.0, 0.0]).sample_period_fft(1000);
     }
 
     #[test]

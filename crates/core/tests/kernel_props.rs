@@ -1,0 +1,167 @@
+//! Property tests for the envelope kernels (`ivn_core::kernels`): every
+//! fast path — batched scratch fill, FFT synthesis, incremental CRN
+//! swap — must agree with the reference `CibEnvelope::envelope` sum to
+//! 1e-9, and the optimizer built on them must stay deterministic per
+//! seed.
+
+use ivn_core::freqsel::{optimize, pessimize, FreqSelConfig};
+use ivn_core::kernels::{CrnKernel, EnvelopeScratch};
+use ivn_core::waveform::CibEnvelope;
+use ivn_runtime::prop::{any, btree_set, vec as pvec, Just, Strategy};
+use ivn_runtime::rng::StdRng;
+use ivn_runtime::{prop_assert, prop_assert_eq, prop_assume, props};
+
+fn offsets() -> impl Strategy<Value = Vec<f64>> {
+    btree_set(1u32..300, 1..9).prop_map(|set| {
+        std::iter::once(0.0)
+            .chain(set.into_iter().map(|v| v as f64))
+            .collect()
+    })
+}
+
+fn phases(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    pvec(0.0f64..std::f64::consts::TAU, n..=n)
+}
+
+fn offsets_and_phases() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    offsets().prop_flat_map(|o| {
+        let n = o.len();
+        (Just(o), phases(n))
+    })
+}
+
+/// Power-of-two grids large enough to resolve the offset range.
+fn pow2_grid() -> impl Strategy<Value = usize> {
+    (9u32..12).prop_map(|p| 1usize << p)
+}
+
+props! {
+    cases = 48;
+
+    fn scratch_fill_matches_reference_pointwise(
+        (offs, ph) in offsets_and_phases(), grid in pow2_grid()
+    ) {
+        // The batched allocation-free fill (whichever path `fill`
+        // auto-selects) reproduces |Σᵢ e^{j(2πfᵢt+βᵢ)}| on every grid
+        // sample.
+        let env = CibEnvelope::new(&offs, &ph);
+        let mut s = EnvelopeScratch::new();
+        s.fill(&offs, &ph, None, grid);
+        for (k, z) in s.grid().iter().enumerate() {
+            let t = k as f64 / grid as f64;
+            prop_assert!(
+                (z.norm() - env.envelope(t)).abs() < 1e-9,
+                "sample {k}/{grid} diverged"
+            );
+        }
+    }
+
+    fn fft_fill_matches_direct_fill(
+        (offs, ph) in offsets_and_phases(), grid in pow2_grid()
+    ) {
+        let mut direct = EnvelopeScratch::new();
+        let mut fft = EnvelopeScratch::new();
+        direct.fill_direct(&offs, &ph, None, grid);
+        fft.fill_fft(&offs, &ph, None, grid);
+        for (k, (a, b)) in direct.grid().iter().zip(fft.grid()).enumerate() {
+            prop_assert!((*a - *b).norm() < 1e-9, "sample {k}/{grid} diverged");
+        }
+    }
+
+    fn sample_period_fft_matches_reference(
+        (offs, ph) in offsets_and_phases(), grid in pow2_grid()
+    ) {
+        let env = CibEnvelope::new(&offs, &ph);
+        let samples = env.sample_period_fft(grid);
+        for (k, y) in samples.iter().enumerate() {
+            let t = k as f64 / grid as f64;
+            prop_assert!(
+                (y - env.envelope(t)).abs() < 1e-9,
+                "sample {k}/{grid} diverged"
+            );
+        }
+    }
+
+    fn crn_swap_matches_fresh_evaluation(
+        offs in offsets(), seed in any::<u64>(),
+        idx_pick in any::<u32>(), new_off in 1u32..300
+    ) {
+        // Scoring a one-tone perturbation incrementally (copy cached
+        // grid, −old +new) must equal a from-scratch evaluation of the
+        // perturbed set under the same phase draws.
+        let n = offs.len();
+        prop_assume!(n >= 2);
+        let idx = 1 + (idx_pick as usize) % (n - 1); // never tone 0
+        let draws = 4;
+        let grid = 512;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut kernel = CrnKernel::new(&offs, draws, grid, &mut rng);
+        let incr = kernel.score_swap(idx, new_off as f64);
+
+        let mut swapped = offs.clone();
+        swapped[idx] = new_off as f64;
+        let mut s = EnvelopeScratch::new();
+        let mut acc = 0.0;
+        for d in 0..draws {
+            let ph = kernel.draw_phases(d).to_vec();
+            s.fill(&swapped, &ph, None, grid);
+            acc += s.peak(&swapped, &ph, None);
+        }
+        let fresh = acc / draws as f64;
+        prop_assert!(
+            (incr - fresh).abs() < 1e-9,
+            "incremental {incr} vs fresh {fresh}"
+        );
+    }
+
+    fn crn_commit_keeps_scores_consistent(
+        offs in offsets(), seed in any::<u64>(), new_off in 1u32..300
+    ) {
+        // After committing a swap, the cached grids must score the new
+        // set exactly as a kernel built directly on it would.
+        let n = offs.len();
+        prop_assume!(n >= 2);
+        let draws = 3;
+        let grid = 512;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut kernel = CrnKernel::new(&offs, draws, grid, &mut rng);
+        kernel.score_swap(n - 1, new_off as f64);
+        kernel.commit_swap(n - 1, new_off as f64);
+        let committed = kernel.score_current();
+
+        let mut swapped = offs.clone();
+        swapped[n - 1] = new_off as f64;
+        let mut s = EnvelopeScratch::new();
+        let mut acc = 0.0;
+        for d in 0..draws {
+            let ph = kernel.draw_phases(d).to_vec();
+            s.fill(&swapped, &ph, None, grid);
+            acc += s.peak(&swapped, &ph, None);
+        }
+        let fresh = acc / draws as f64;
+        prop_assert!(
+            (committed - fresh).abs() < 1e-9,
+            "committed {committed} vs fresh {fresh}"
+        );
+    }
+
+    fn optimize_deterministic_per_seed(seed in any::<u64>()) {
+        let cfg = FreqSelConfig {
+            n_antennas: 3,
+            rms_limit_hz: 199.0,
+            max_offset_hz: 96,
+            mc_draws: 4,
+            grid: 128,
+            restarts: 2,
+            iterations: 10,
+        };
+        let a = optimize(&cfg, seed);
+        let b = optimize(&cfg, seed);
+        prop_assert_eq!(a.offsets_hz, b.offsets_hz);
+        prop_assert_eq!(a.expected_peak, b.expected_peak);
+        let p = pessimize(&cfg, seed);
+        let q = pessimize(&cfg, seed);
+        prop_assert_eq!(p.offsets_hz, q.offsets_hz);
+        prop_assert_eq!(p.expected_peak, q.expected_peak);
+    }
+}

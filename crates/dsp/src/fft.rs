@@ -29,6 +29,20 @@ pub fn ifft(data: &mut [Complex64]) {
     }
 }
 
+/// In-place inverse FFT *without* the 1/N normalization:
+/// `ifft_unnormalized(X)[k] = Σₙ X[n]·e^{+j2πnk/N}`.
+///
+/// The workhorse for sparse-spectrum synthesis (e.g. the CIB envelope
+/// kernels): place each tone's complex amplitude directly in its bin and
+/// transform — the result is the time-domain sum itself, with no O(N)
+/// scaling pass and no allocation.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two (or is zero).
+pub fn ifft_unnormalized(data: &mut [Complex64]) {
+    transform(data, true);
+}
+
 fn transform(data: &mut [Complex64], inverse: bool) {
     let n = data.len();
     assert!(
@@ -160,6 +174,25 @@ mod tests {
             if k != 3 {
                 assert!(x.norm() < 1e-9, "leakage at bin {k}");
             }
+        }
+    }
+
+    #[test]
+    fn ifft_unnormalized_synthesizes_sparse_tones() {
+        // Place 1·e^{j0.4} in bin 3 and 0.5·e^{-j1.1} in bin 61 (= -3 mod
+        // 64): the transform is the two-tone time series, unscaled.
+        let n = 64;
+        let a = Complex64::from_polar(1.0, 0.4);
+        let b = Complex64::from_polar(0.5, -1.1);
+        let mut d = vec![Complex64::ZERO; n];
+        d[3] = a;
+        d[n - 3] = b;
+        ifft_unnormalized(&mut d);
+        for k in 0..n {
+            let t = k as f64 / n as f64;
+            let want =
+                a * Complex64::cis(2.0 * PI * 3.0 * t) + b * Complex64::cis(-2.0 * PI * 3.0 * t);
+            assert!((d[k] - want).norm() < 1e-9, "bin {k}");
         }
     }
 

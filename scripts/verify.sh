@@ -33,7 +33,7 @@ cargo run --release --offline -p ivn-bench --bin reproduce -- pipeline --quick -
 # trace_report --check parses through the in-tree JSON layer, requires a
 # non-empty traceEvents array, and verifies every B has a matching E.
 cargo run --release --offline -p ivn-bench --bin trace_report -- "$TRACE_OUT" --check
-for span in sdr.emit_ns em.ensemble_responses_ns harvester.power_up_ns rfid.pie_decode_ns freqsel.mc_eval_ns physics.envelope_peak physics.harvested_charge_j; do
+for span in sdr.emit_ns em.ensemble_responses_ns harvester.power_up_ns rfid.pie_decode_ns freqsel.mc_eval_ns freqsel.kernel_batch_ns freqsel.kernel_fill physics.envelope_peak physics.harvested_charge_j; do
     grep -q "\"$span\"" "$TRACE_OUT" || {
         echo "verify: FAIL — '$span' missing from $TRACE_OUT" >&2
         exit 1
@@ -58,6 +58,37 @@ grep -q 'harvester.power_up_ns' BENCH_runtime.json || {
     echo "verify: FAIL — span histogram missing from obs report" >&2
     exit 1
 }
+# The envelope-kernel spans must show up too: the batched Monte-Carlo
+# eval from the freqsel stage and the incremental climb from the
+# kernel/climb micro-bench.
+for span in freqsel.kernel_batch_ns freqsel.kernel_incr_ns; do
+    grep -q "$span" BENCH_runtime.json || {
+        echo "verify: FAIL — kernel span '$span' missing from obs report" >&2
+        exit 1
+    }
+done
+
+echo "==> freqsel perf-regression gate (fast mode only)"
+# Median stage/freqsel wall-clock committed with the envelope-kernel
+# rewrite (seed 42, grid 1024, 16 draws, IVN_BENCH_FAST=1). A regression
+# of more than 25% over this baseline fails verification. Full-mode runs
+# (IVN_BENCH_FAST!=1) use 96 draws and skip the gate.
+FREQSEL_BASELINE_NS=268000
+if [ "${IVN_BENCH_FAST:-1}" = "1" ]; then
+    freqsel_ns=$(sed -n 's/.*"stage":"freqsel","median_ns":\([0-9.eE+-]*\).*/\1/p' BENCH_runtime.json)
+    [ -n "$freqsel_ns" ] || {
+        echo "verify: FAIL — stage/freqsel median_ns missing from BENCH_runtime.json" >&2
+        exit 1
+    }
+    awk -v v="$freqsel_ns" -v base="$FREQSEL_BASELINE_NS" \
+        'BEGIN { exit !(v <= base * 1.25) }' || {
+        echo "verify: FAIL — stage/freqsel median ${freqsel_ns}ns regressed >25% over baseline ${FREQSEL_BASELINE_NS}ns" >&2
+        exit 1
+    }
+    echo "stage/freqsel median ${freqsel_ns}ns (baseline ${FREQSEL_BASELINE_NS}ns, gate x1.25)"
+else
+    echo "skipped (full mode)"
+fi
 
 echo "==> instrumentation overhead recorded and under 2%"
 pct=$(sed -n 's/.*"obs_overhead_pct":\(-\{0,1\}[0-9.eE+-]*\).*/\1/p' BENCH_runtime.json)
