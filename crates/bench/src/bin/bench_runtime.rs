@@ -323,6 +323,39 @@ fn main() {
             ("min_ns", r.min_ns.into()),
         ]));
     }
+    // Streaming sample-path throughput: one full 1-second CIB period
+    // through the block driver (100 kS/s in fast mode, 1 MS/s in full),
+    // timed per stage. Runs under the same obs/trace state so the
+    // streaming spans land in the embedded report too.
+    let streaming_json = {
+        let opts = ivn_bench::pipeline::StreamOptions {
+            sample_rate: Some(if fast { 1e5 } else { 1e6 }),
+            ..Default::default()
+        };
+        let report = ivn_bench::pipeline::outputs_streaming(true, &opts);
+        let mut entries = Vec::new();
+        for &(stage, ns, samples) in &report.stage_ns {
+            let msps = if ns > 0 {
+                samples as f64 * 1e3 / ns as f64
+            } else {
+                0.0
+            };
+            println!("streaming {stage:<10} {msps:>10.2} MS/s");
+            entries.push(Json::obj([
+                ("stage", stage.into()),
+                ("msps", msps.into()),
+                ("ns", (ns as f64).into()),
+                ("samples", samples.into()),
+            ]));
+        }
+        Json::obj([
+            ("sample_rate", report.outputs.sample_rate.into()),
+            ("block", report.block.into()),
+            ("threads", report.threads.into()),
+            ("stages", Json::Arr(entries)),
+        ])
+    };
+
     let obs_report = with_obs.then(|| {
         let report = obs::report();
         obs::set_enabled(false);
@@ -351,6 +384,7 @@ fn main() {
         ("trace_overhead_pct", trace_overhead_pct.into()),
         ("stages", Json::Arr(stage_entries)),
         ("kernels", Json::Arr(kernel_entries)),
+        ("streaming", streaming_json),
         ("results", b.to_json()),
     ];
     if let Some(report) = obs_report {

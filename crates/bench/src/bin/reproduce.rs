@@ -48,7 +48,7 @@ const ALL_TARGETS: [&str; 13] = [
     "pipeline",
 ];
 
-const USAGE: &str = "usage: reproduce <fig2|fig3|fig4|fig6|fig9|fig10|fig11|fig12|fig13|invivo|freqs|ablations|pipeline|all> [--quick] [--obs] [--obs-json <path>] [--trace <path>]";
+const USAGE: &str = "usage: reproduce <fig2|fig3|fig4|fig6|fig9|fig10|fig11|fig12|fig13|invivo|freqs|ablations|pipeline|all> [--quick] [--obs] [--obs-json <path>] [--trace <path>] [--sample-rate <hz>] [--block <n>] [--batch] [--stream-stats]";
 
 struct Args {
     target: Option<String>,
@@ -56,6 +56,14 @@ struct Args {
     with_obs: bool,
     obs_json: Option<String>,
     trace_path: Option<String>,
+    /// Pipeline-only: override the sample rate (e.g. 1e6 for 1 MS/s).
+    sample_rate: Option<f64>,
+    /// Pipeline-only: streaming block size.
+    block: Option<usize>,
+    /// Pipeline-only: run the whole-buffer oracle instead of streaming.
+    batch: bool,
+    /// Pipeline-only: append footprint/throughput/hash diagnostics.
+    stream_stats: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -65,6 +73,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         with_obs: false,
         obs_json: None,
         trace_path: None,
+        sample_rate: None,
+        block: None,
+        batch: false,
+        stream_stats: false,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -79,6 +91,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let path = it.next().ok_or("--trace needs a path")?;
                 args.trace_path = Some(path.clone());
             }
+            "--sample-rate" => {
+                let v = it.next().ok_or("--sample-rate needs a value in Hz")?;
+                let hz: f64 = v.parse().map_err(|_| format!("bad --sample-rate '{v}'"))?;
+                if !(hz > 0.0) {
+                    return Err(format!("--sample-rate must be positive, got '{v}'"));
+                }
+                args.sample_rate = Some(hz);
+            }
+            "--block" => {
+                let v = it.next().ok_or("--block needs a sample count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --block '{v}'"))?;
+                if n == 0 {
+                    return Err("--block must be positive".into());
+                }
+                args.block = Some(n);
+            }
+            "--batch" => args.batch = true,
+            "--stream-stats" => args.stream_stats = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
             target => {
                 if args.target.is_some() {
@@ -165,7 +195,21 @@ fn main() -> ExitCode {
             "invivo" => ivn_bench::fig15_invivo::run(quick),
             "freqs" => ivn_bench::tbl_freqs::run(quick),
             "ablations" => ivn_bench::ablations::run(quick),
-            "pipeline" => ivn_bench::pipeline::run(quick),
+            "pipeline" => {
+                if args.batch {
+                    ivn_bench::pipeline::run_batch(quick, args.sample_rate, args.stream_stats)
+                } else {
+                    let mut opts = ivn_bench::pipeline::StreamOptions {
+                        sample_rate: args.sample_rate,
+                        stats: args.stream_stats,
+                        ..Default::default()
+                    };
+                    if let Some(b) = args.block {
+                        opts.block = b;
+                    }
+                    ivn_bench::pipeline::run_with(quick, &opts)
+                }
+            }
             _ => return None,
         })
     };

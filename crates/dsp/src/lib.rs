@@ -24,6 +24,7 @@
 //! ```
 
 pub mod agc;
+pub mod block;
 pub mod buffer;
 pub mod complex;
 pub mod correlate;

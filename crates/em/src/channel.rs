@@ -186,9 +186,23 @@ impl ChannelEnsemble {
 
     /// All responses at one frequency.
     pub fn responses(&self, freq_hz: f64) -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; self.len()];
+        self.responses_into(freq_hz, &mut out);
+        out
+    }
+
+    /// Writes all responses at one frequency into `out` without
+    /// allocating — the hot-path variant used by the block driver.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.len()`.
+    pub fn responses_into(&self, freq_hz: f64, out: &mut [Complex64]) {
+        assert_eq!(out.len(), self.len(), "one slot per antenna required");
         let _span = ivn_runtime::span!("em.ensemble_responses_ns");
         ivn_runtime::obs_count!("em.channel_evals", self.channels.len());
-        self.channels.iter().map(|c| c.response(freq_hz)).collect()
+        for (slot, c) in out.iter_mut().zip(&self.channels) {
+            *slot = c.response(freq_hz);
+        }
     }
 }
 

@@ -26,6 +26,7 @@ pub mod medium;
 pub mod multipath;
 pub mod safety;
 pub mod sar;
+pub mod stream;
 
 pub use channel::ChannelModel;
 pub use medium::Medium;

@@ -1,0 +1,164 @@
+//! Per-block channel application and superposition.
+//!
+//! The narrowband (flat-per-tone) assumption of the paper's Eq. 5 makes
+//! the channel stage of the sample path a single complex gain per
+//! antenna. [`BlockSuperposer`] captures those gains once — evaluating
+//! each antenna's channel at that antenna's own emission frequency —
+//! and then folds any number of aligned per-antenna sample blocks into
+//! the received superposition, block by block, with no per-call
+//! allocation. `TxBank::superpose` and this stage share the exact
+//! accumulation loop (`ivn_dsp::block::accumulate_scaled`), so the
+//! streaming and whole-buffer paths agree bit for bit.
+
+use crate::channel::ChannelEnsemble;
+use ivn_dsp::block::accumulate_scaled;
+use ivn_dsp::buffer::IqBuffer;
+use ivn_dsp::complex::Complex64;
+
+/// Streaming fan-in: applies one flat gain per antenna and sums the
+/// result at the receive point.
+#[derive(Debug, Clone)]
+pub struct BlockSuperposer {
+    gains: Vec<Complex64>,
+}
+
+impl BlockSuperposer {
+    /// A superposer with explicit per-antenna gains.
+    ///
+    /// # Panics
+    /// Panics if `gains` is empty.
+    pub fn new(gains: Vec<Complex64>) -> Self {
+        assert!(!gains.is_empty(), "nothing to superpose");
+        BlockSuperposer { gains }
+    }
+
+    /// Captures gains from `ensemble`, evaluating antenna `i`'s channel
+    /// at `emission_hz(i)` — the per-tone narrowband evaluation the
+    /// batch pipeline performs.
+    ///
+    /// # Panics
+    /// Panics if the ensemble is empty.
+    pub fn from_ensemble(ensemble: &ChannelEnsemble, emission_hz: impl Fn(usize) -> f64) -> Self {
+        let n = ensemble.len();
+        let mut scratch = vec![Complex64::ZERO; n];
+        let mut gains = vec![Complex64::ZERO; n];
+        for (i, g) in gains.iter_mut().enumerate() {
+            ensemble.responses_into(emission_hz(i), &mut scratch);
+            *g = scratch[i];
+        }
+        BlockSuperposer::new(gains)
+    }
+
+    /// The per-antenna gains.
+    pub fn gains(&self) -> &[Complex64] {
+        &self.gains
+    }
+
+    /// Number of antennas.
+    pub fn len(&self) -> usize {
+        self.gains.len()
+    }
+
+    /// Whether the superposer has no antennas (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.gains.is_empty()
+    }
+
+    /// Superposes one aligned block per antenna into `out` (cleared and
+    /// refilled; capacity is reused across calls, so the steady state
+    /// allocates nothing).
+    ///
+    /// # Panics
+    /// Panics if the number of blocks differs from the number of gains
+    /// or the blocks are not all the same length.
+    pub fn superpose_block<'a>(
+        &self,
+        blocks: impl Iterator<Item = &'a [Complex64]>,
+        out: &mut Vec<Complex64>,
+    ) {
+        out.clear();
+        let mut seen = 0usize;
+        for (block, &g) in blocks.zip(&self.gains) {
+            if seen == 0 {
+                out.resize(block.len(), Complex64::ZERO);
+            }
+            accumulate_scaled(out, block, g);
+            seen += 1;
+        }
+        assert_eq!(seen, self.gains.len(), "one block per antenna required");
+    }
+
+    /// Whole-buffer convenience: superposes full per-antenna buffers in
+    /// one call (a single maximal block).
+    ///
+    /// # Panics
+    /// Panics on antenna-count or length mismatch, or empty input.
+    pub fn superpose_buffers(&self, emissions: &[IqBuffer]) -> IqBuffer {
+        assert!(!emissions.is_empty(), "nothing to superpose");
+        let mut out = Vec::new();
+        self.superpose_block(emissions.iter().map(|e| e.samples()), &mut out);
+        IqBuffer::new(out, emissions[0].sample_rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivn_runtime::rng::StdRng;
+
+    fn tone(phase_step: f64, len: usize) -> Vec<Complex64> {
+        (0..len)
+            .map(|k| Complex64::cis(phase_step * k as f64))
+            .collect()
+    }
+
+    #[test]
+    fn block_superposition_matches_whole_buffer() {
+        let gains = vec![
+            Complex64::from_polar(0.3, 0.4),
+            Complex64::from_polar(0.3, 2.2),
+            Complex64::from_polar(0.3, 5.0),
+        ];
+        let sp = BlockSuperposer::new(gains.clone());
+        let emissions: Vec<Vec<Complex64>> =
+            (0..3).map(|i| tone(0.01 * (i + 1) as f64, 500)).collect();
+
+        let mut whole = Vec::new();
+        sp.superpose_block(emissions.iter().map(|e| e.as_slice()), &mut whole);
+
+        for block in [1usize, 7, 256] {
+            let mut streamed: Vec<Complex64> = Vec::new();
+            let mut scratch = Vec::new();
+            let mut start = 0;
+            while start < 500 {
+                let end = (start + block).min(500);
+                sp.superpose_block(emissions.iter().map(|e| &e[start..end]), &mut scratch);
+                streamed.extend_from_slice(&scratch);
+                start = end;
+            }
+            assert_eq!(streamed, whole, "block {block}");
+        }
+    }
+
+    #[test]
+    fn from_ensemble_picks_own_frequency_response() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ens = ChannelEnsemble::blind(&mut rng, 4, 0.3, 915e6);
+        let freqs = [915e6, 915e6 + 7.0, 915e6 + 20.0, 915e6 + 49.0];
+        let sp = BlockSuperposer::from_ensemble(&ens, |i| freqs[i]);
+        for (i, &g) in sp.gains().iter().enumerate() {
+            assert_eq!(g, ens.responses(freqs[i])[i], "antenna {i}");
+        }
+        assert_eq!(sp.len(), 4);
+        assert!(!sp.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one block per antenna")]
+    fn antenna_count_checked() {
+        let sp = BlockSuperposer::new(vec![Complex64::ONE; 2]);
+        let one = tone(0.1, 8);
+        let mut out = Vec::new();
+        sp.superpose_block(std::iter::once(one.as_slice()), &mut out);
+    }
+}

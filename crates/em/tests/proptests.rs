@@ -1,5 +1,7 @@
 //! Property-based tests for the electromagnetics substrate.
 
+use ivn_dsp::buffer::IqBuffer;
+use ivn_dsp::complex::Complex64;
 use ivn_em::antenna::{received_power, Antenna};
 use ivn_em::boundary::{power_transmittance, reflection};
 use ivn_em::geometry::Point3;
@@ -7,9 +9,10 @@ use ivn_em::layered::{single_medium_path, Layer, LayeredPath};
 use ivn_em::medium::Medium;
 use ivn_em::multipath::MultipathChannel;
 use ivn_em::sar::{averaged_sar, local_sar};
-use ivn_runtime::prop::Strategy;
-use ivn_runtime::rng::StdRng;
-use ivn_runtime::{prop_assert, props};
+use ivn_em::stream::BlockSuperposer;
+use ivn_runtime::prop::{any, Strategy};
+use ivn_runtime::rng::{Rng, StdRng};
+use ivn_runtime::{prop_assert, prop_assert_eq, props};
 
 fn medium() -> impl Strategy<Value = Medium> {
     (1.0f64..85.0, 0.0f64..3.0).prop_map(|(e, s)| Medium::new("prop", e, s))
@@ -90,5 +93,38 @@ props! {
         let s = local_sar(&m, e);
         prop_assert!(s >= 0.0);
         prop_assert!(averaged_sar(s, duty) <= s + 1e-12);
+    }
+
+    fn block_superposition_matches_whole_buffer(seed in any::<u64>(), block in 1usize..64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_ant = 4usize;
+        let len = 150usize;
+        let gains: Vec<Complex64> = (0..n_ant)
+            .map(|_| Complex64::new(rng.random::<f64>() * 2.0 - 1.0, rng.random::<f64>() * 2.0 - 1.0))
+            .collect();
+        let emissions: Vec<IqBuffer> = (0..n_ant)
+            .map(|_| {
+                let samples = (0..len)
+                    .map(|_| Complex64::new(rng.random::<f64>() - 0.5, rng.random::<f64>() - 0.5))
+                    .collect();
+                IqBuffer::new(samples, 1e5)
+            })
+            .collect();
+        let sup = BlockSuperposer::new(gains);
+        let batch = sup.superpose_buffers(&emissions);
+        let mut rx = Vec::new();
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < len {
+            let end = (start + block).min(len);
+            sup.superpose_block(emissions.iter().map(|e| &e.samples()[start..end]), &mut out);
+            rx.extend_from_slice(&out);
+            start = end;
+        }
+        prop_assert_eq!(rx.len(), batch.samples().len());
+        for (x, y) in rx.iter().zip(batch.samples()) {
+            prop_assert_eq!(x.re.to_bits(), y.re.to_bits());
+            prop_assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
     }
 }

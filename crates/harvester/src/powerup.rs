@@ -90,46 +90,35 @@ impl TagPowerProfile {
 
     /// Runs the power-up simulation over a received-power envelope
     /// (watts per sample at `sample_rate`). Returns the outcome.
+    ///
+    /// Thin wrapper over the resumable streaming core
+    /// ([`Self::begin_power_up`]): the whole envelope is one block, so
+    /// batch and streaming integration are identical by construction.
     pub fn power_up(&self, power_envelope: &[f64], sample_rate: f64) -> PowerUpOutcome {
-        let _span = ivn_runtime::span!("harvester.power_up_ns");
-        ivn_runtime::obs_count!("harvester.charge_steps", power_envelope.len());
-        let vs: Vec<f64> = power_envelope
-            .iter()
-            .map(|&p| self.input_amplitude(p))
-            .collect();
-        // While below `v_operate` the chip is off and draws (almost)
-        // nothing; once awake it draws i_chip. Track both phases.
-        let dt = 1.0 / sample_rate;
-        let mut v = 0.0;
-        let mut awake_at = None;
-        let mut v_peak: f64 = 0.0;
-        // Physics probe: sample the energy banked in the storage cap
-        // (½·C·V², joules) at ~32 points across the transient. The stride
-        // check stays behind the enabled() load so the charge loop pays
-        // one relaxed load per step when tracing is off.
-        let charge_stride = (vs.len() / 32).max(1);
-        for (n, &amp) in vs.iter().enumerate() {
-            let i_load = if awake_at.is_some() { self.i_chip } else { 0.0 };
-            v = self.rectifier.step(v, amp, dt, self.c_storage, i_load);
-            v_peak = v_peak.max(v);
-            if awake_at.is_none() && v >= self.v_operate {
-                awake_at = Some(n);
-            }
-            if ivn_runtime::trace::enabled() && n % charge_stride == 0 {
-                ivn_runtime::trace_counter!(
-                    "physics.harvested_charge_j",
-                    0.5 * self.c_storage * v * v
-                );
-            }
-        }
-        if awake_at.is_some() {
-            ivn_runtime::obs_count!("harvester.threshold_crossings", 1);
-        }
-        PowerUpOutcome {
-            powered: awake_at.is_some(),
-            time_to_power_s: awake_at.map(|n| n as f64 / sample_rate),
-            peak_vdc: v_peak,
-            final_vdc: v,
+        let mut state = self
+            .begin_power_up(sample_rate)
+            .with_trace_stride((power_envelope.len() / 32).max(1));
+        state.step_block(power_envelope);
+        state.finish()
+    }
+
+    /// Starts a resumable power-up integration at `sample_rate`: feed
+    /// received-power blocks through [`PowerUpState::step_block`], then
+    /// read [`PowerUpState::finish`]. Pump voltage, peak tracking and
+    /// the wake timestamp all carry across block boundaries, so any
+    /// block split produces the same outcome as [`Self::power_up`].
+    pub fn begin_power_up(&self, sample_rate: f64) -> PowerUpState<'_> {
+        assert!(sample_rate > 0.0, "sample rate must be positive");
+        PowerUpState {
+            profile: self,
+            sample_rate,
+            dt: 1.0 / sample_rate,
+            v: 0.0,
+            v_peak: 0.0,
+            awake_at: None,
+            n: 0,
+            trace_stride: 1,
+            crossing_counted: false,
         }
     }
 
@@ -148,6 +137,116 @@ impl TagPowerProfile {
         let n = self.rectifier.stages as f64;
         let vs_needed = vth + self.v_operate / n;
         vs_needed * vs_needed / (2.0 * self.r_in)
+    }
+}
+
+/// Resumable Dickson-pump charge integration — the streaming core
+/// behind [`TagPowerProfile::power_up`].
+///
+/// The integrator is a first-order recurrence (each step depends only
+/// on the previous pump voltage and the current input amplitude), so
+/// carrying `v`, the running peak and the wake index across block
+/// boundaries reproduces the whole-buffer loop exactly: pushing the
+/// same envelope in blocks of 1 or 4096 yields bit-identical outcomes.
+#[derive(Debug, Clone)]
+pub struct PowerUpState<'a> {
+    profile: &'a TagPowerProfile,
+    sample_rate: f64,
+    dt: f64,
+    v: f64,
+    v_peak: f64,
+    awake_at: Option<usize>,
+    /// Global sample index (drives the trace stride and wake timestamp).
+    n: usize,
+    trace_stride: usize,
+    crossing_counted: bool,
+}
+
+impl PowerUpState<'_> {
+    /// Sets the physics-probe stride: the banked energy (½·C·V²) is
+    /// emitted as a `physics.harvested_charge_j` trace counter every
+    /// `stride` samples. The whole-buffer wrapper uses ~32 points across
+    /// the transient; a streaming driver should derive the stride from
+    /// its expected total sample count.
+    ///
+    /// # Panics
+    /// Panics if `stride` is zero.
+    pub fn with_trace_stride(mut self, stride: usize) -> Self {
+        assert!(stride > 0, "trace stride must be positive");
+        self.trace_stride = stride;
+        self
+    }
+
+    /// Integrates one block of received power (watts per sample).
+    pub fn step_block(&mut self, power_block: &[f64]) {
+        let _span = ivn_runtime::span!("harvester.power_up_ns");
+        ivn_runtime::obs_count!("harvester.charge_steps", power_block.len());
+        for &p in power_block {
+            let amp = self.profile.input_amplitude(p);
+            // While below `v_operate` the chip is off and draws (almost)
+            // nothing; once awake it draws i_chip.
+            let i_load = if self.awake_at.is_some() {
+                self.profile.i_chip
+            } else {
+                0.0
+            };
+            self.v =
+                self.profile
+                    .rectifier
+                    .step(self.v, amp, self.dt, self.profile.c_storage, i_load);
+            self.v_peak = self.v_peak.max(self.v);
+            if self.awake_at.is_none() && self.v >= self.profile.v_operate {
+                self.awake_at = Some(self.n);
+            }
+            // The stride check stays behind the enabled() load so the
+            // charge loop pays one relaxed load per step when tracing
+            // is off.
+            if ivn_runtime::trace::enabled() && self.n % self.trace_stride == 0 {
+                ivn_runtime::trace_counter!(
+                    "physics.harvested_charge_j",
+                    0.5 * self.profile.c_storage * self.v * self.v
+                );
+            }
+            self.n += 1;
+        }
+    }
+
+    /// Ends the stream (books the threshold-crossing observation once)
+    /// and returns the outcome. Idempotent; the state can keep
+    /// integrating afterwards if more samples arrive.
+    pub fn finish(&mut self) -> PowerUpOutcome {
+        if self.awake_at.is_some() && !self.crossing_counted {
+            ivn_runtime::obs_count!("harvester.threshold_crossings", 1);
+            self.crossing_counted = true;
+        }
+        self.outcome()
+    }
+
+    /// The outcome as of the samples integrated so far.
+    pub fn outcome(&self) -> PowerUpOutcome {
+        PowerUpOutcome {
+            powered: self.awake_at.is_some(),
+            time_to_power_s: self.awake_at.map(|n| n as f64 / self.sample_rate),
+            peak_vdc: self.v_peak,
+            final_vdc: self.v,
+        }
+    }
+
+    /// Samples integrated so far.
+    pub fn samples_seen(&self) -> usize {
+        self.n
+    }
+}
+
+impl ivn_dsp::block::BlockSink for PowerUpState<'_> {
+    type In = f64;
+
+    fn consume(&mut self, input: &[f64]) {
+        self.step_block(input);
+    }
+
+    fn finish(&mut self) {
+        PowerUpState::finish(self);
     }
 }
 
@@ -265,6 +364,43 @@ mod tests {
             "ratio {}",
             mini_req / std_req
         );
+    }
+
+    #[test]
+    fn streaming_integration_matches_batch_any_block_size() {
+        let tag = TagPowerProfile::standard_tag();
+        // A ramp that crosses the wake threshold partway through, then
+        // drops — exercises wake timing and post-wake drain across
+        // block boundaries.
+        let env: Vec<f64> = (0..40_000)
+            .map(|k| {
+                if k < 30_000 {
+                    dbm_to_watts(10.0) * (k as f64 / 30_000.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let batch = tag.power_up(&env, 1e6);
+        assert!(batch.powered);
+        for block in [1usize, 7, 256, 4096] {
+            let mut st = tag
+                .begin_power_up(1e6)
+                .with_trace_stride((env.len() / 32).max(1));
+            for chunk in env.chunks(block) {
+                st.step_block(chunk);
+            }
+            let out = st.finish();
+            assert_eq!(out.powered, batch.powered, "block {block}");
+            assert_eq!(
+                out.time_to_power_s.map(f64::to_bits),
+                batch.time_to_power_s.map(f64::to_bits),
+                "block {block}"
+            );
+            assert_eq!(out.peak_vdc.to_bits(), batch.peak_vdc.to_bits());
+            assert_eq!(out.final_vdc.to_bits(), batch.final_vdc.to_bits());
+            assert_eq!(st.samples_seen(), env.len());
+        }
     }
 
     #[test]

@@ -57,18 +57,14 @@ impl Fm0 {
     /// Decodes baseband samples back into bits. Accepts any amplitude
     /// scale and either polarity; requires sample alignment (the reader's
     /// correlator provides the offset).
+    ///
+    /// Thin wrapper over the streaming [`crate::stream::Fm0Decoder`]
+    /// (one maximal block), so batch and block-wise decode agree bit
+    /// for bit — including discarding a trailing partial symbol.
     pub fn decode(&self, samples: &[f64]) -> Vec<bool> {
-        let _span = ivn_runtime::span!("rfid.fm0_decode_ns");
-        let spb = self.samples_per_half * 2;
-        ivn_runtime::obs_count!("rfid.fm0_symbols_decoded", samples.len() / spb);
-        let mut bits = Vec::with_capacity(samples.len() / spb);
-        for sym in samples.chunks_exact(spb) {
-            let first: f64 = sym[..self.samples_per_half].iter().sum();
-            let second: f64 = sym[self.samples_per_half..].iter().sum();
-            // Same sign across halves → data-1; flip → data-0.
-            bits.push(first.signum() == second.signum());
-        }
-        bits
+        let mut dec = crate::stream::Fm0Decoder::new(*self);
+        dec.push(samples);
+        dec.finish()
     }
 
     /// Samples per full symbol.

@@ -27,6 +27,7 @@ pub mod link;
 pub mod miller;
 pub mod pie;
 pub mod reader;
+pub mod stream;
 pub mod tag;
 
 pub use commands::Command;

@@ -108,20 +108,13 @@ pub fn encode_frame(bits: &[bool], p: &PieParams, with_trcal: bool) -> LevelRuns
 
 /// Rasterizes level runs to an amplitude profile (1.0 high / `low_level`
 /// low) at `sample_rate`.
+///
+/// Thin wrapper over the streaming [`crate::stream::RunRasterizer`]
+/// (one maximal block), so the batch and block paths agree bit for bit.
 pub fn rasterize(runs: &LevelRuns, sample_rate: f64, low_level: f64) -> Vec<f64> {
-    assert!(sample_rate > 0.0);
-    let total: f64 = runs.iter().map(|r| r.1).sum();
-    let n = (total * sample_rate).round() as usize;
-    let mut out = Vec::with_capacity(n);
-    let mut t_edge = 0.0;
-    for &(high, dur) in runs {
-        t_edge += dur;
-        let target = (t_edge * sample_rate).round() as usize;
-        let level = if high { 1.0 } else { low_level };
-        while out.len() < target {
-            out.push(level);
-        }
-    }
+    let mut src = crate::stream::RunRasterizer::new(runs.clone(), sample_rate, low_level);
+    let mut out = Vec::new();
+    while ivn_dsp::block::BlockSource::fill(&mut src, &mut out, usize::MAX) > 0 {}
     out
 }
 
@@ -154,6 +147,12 @@ pub fn decode_frame(envelope: &[f64], sample_rate: f64) -> Result<Vec<bool>, Pie
     result
 }
 
+/// Whole-buffer decode delegating to the streaming edge detector
+/// ([`crate::stream::PieStreamDecoder`]) as one maximal block — the two
+/// paths share every comparison, so they agree bit for bit. The peak
+/// (for the half-amplitude threshold) is folded over the full envelope
+/// first, exactly as before; a streaming caller supplies the threshold
+/// from its own running peak instead.
 fn decode_frame_inner(envelope: &[f64], sample_rate: f64) -> Result<Vec<bool>, PieError> {
     if envelope.len() < 8 {
         return Err(PieError::TooShort);
@@ -162,28 +161,15 @@ fn decode_frame_inner(envelope: &[f64], sample_rate: f64) -> Result<Vec<bool>, P
     if peak <= 0.0 {
         return Err(PieError::NoPreamble);
     }
-    let thr = peak * 0.5;
-    // Find falling edges (start of notches).
-    let mut edges = Vec::new();
-    let mut high = envelope[0] > thr;
-    for (i, &v) in envelope.iter().enumerate() {
-        let now_high = v > thr;
-        if high && !now_high {
-            edges.push(i);
-        }
-        high = now_high;
-    }
-    // Falling edges mark notch starts. With the leading carrier, edge 0 is
-    // the delimiter itself; the interval edge1→edge2 spans the RTcal
-    // symbol, which self-calibrates the decoder.
-    if edges.len() < 3 {
-        return Err(PieError::NoPreamble);
-    }
-    let dt = 1.0 / sample_rate;
-    let intervals: Vec<f64> = edges
-        .windows(2)
-        .map(|w| (w[1] - w[0]) as f64 * dt)
-        .collect();
+    let mut dec = crate::stream::PieStreamDecoder::new(peak * 0.5, sample_rate);
+    dec.push(envelope);
+    dec.classify()
+}
+
+/// Classifies notch intervals into bits — the self-calibrating back end
+/// shared by [`decode_frame`] and the streaming
+/// [`crate::stream::PieStreamDecoder`].
+pub(crate) fn classify_intervals(intervals: &[f64]) -> Result<Vec<bool>, PieError> {
     // intervals[0] = delimiter + data-0 − PW (composite), intervals[1] = RTcal.
     let composite = intervals[0];
     let rtcal = intervals[1];

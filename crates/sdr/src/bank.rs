@@ -8,9 +8,10 @@
 
 use crate::clock::ClockDistribution;
 use crate::device::SdrDevice;
+use crate::stream::{BankStreamer, EmitterLane};
+use ivn_dsp::block::{accumulate_scaled, BlockStage};
 use ivn_dsp::buffer::IqBuffer;
 use ivn_dsp::complex::Complex64;
-use ivn_dsp::osc::Oscillator;
 use ivn_runtime::rng::Rng;
 
 /// A bank of synchronized transmitters.
@@ -72,6 +73,11 @@ impl TxBank {
         self.carrier_hz
     }
 
+    /// Sample rate shared by every device, S/s.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
     /// The soft offsets, Hz.
     pub fn offsets_hz(&self) -> &[f64] {
         &self.soft_offsets_hz
@@ -94,7 +100,21 @@ impl TxBank {
 
     /// The hidden carrier phases θᵢ (test/oracle use only).
     pub fn hidden_phases(&self) -> Vec<f64> {
-        self.devices.iter().map(|d| d.pll.initial_phase()).collect()
+        let mut out = vec![0.0; self.len()];
+        self.hidden_phases_into(&mut out);
+        out
+    }
+
+    /// Writes the hidden carrier phases θᵢ into `out` without
+    /// allocating — the hot-path variant used by the block driver.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.len()`.
+    pub fn hidden_phases_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.len(), "one slot per device required");
+        for (slot, d) in out.iter_mut().zip(&self.devices) {
+            *slot = d.pll.initial_phase();
+        }
     }
 
     /// Generates device `i`'s emitted baseband for a shared amplitude
@@ -105,28 +125,23 @@ impl TxBank {
     ///
     /// `profile` holds one amplitude per sample (1.0 = full carrier); the
     /// emission lasts `profile.len()` samples.
+    ///
+    /// This is a thin wrapper over the streaming core
+    /// ([`EmitterLane`]): the whole profile is pushed as one block and
+    /// the lane flushed, so batch and streaming output are identical by
+    /// construction.
     pub fn emit(&self, i: usize, profile: &[f64], drive: f64) -> IqBuffer {
-        let _span = ivn_runtime::span!("sdr.emit_ns");
-        ivn_runtime::obs_count!("sdr.emissions", 1);
-        let dev = &self.devices[i];
-        let mut osc = Oscillator::new(self.soft_offsets_hz[i], self.sample_rate);
-        // Trigger offset expressed as a (fractional) sample shift of the
-        // profile; PPS-level jitter is ≪ one sample at 1 MS/s, so a
-        // nearest-sample shift is faithful.
-        let shift = (dev.trigger_offset_s * self.sample_rate).round() as i64;
-        let n = profile.len();
-        let mut bb = IqBuffer::zeros(n, self.sample_rate);
-        for (k, s) in bb.samples_mut().iter_mut().enumerate() {
-            let idx = k as i64 - shift;
-            let amp = if idx < 0 || idx as usize >= n {
-                // Outside the command: carrier stays on at full level.
-                1.0
-            } else {
-                profile[idx as usize]
-            };
-            *s = osc.next_sample() * amp;
-        }
-        dev.transmit(&bb, drive)
+        let mut lane = EmitterLane::new(self, i, drive);
+        let mut out = Vec::new();
+        lane.push(profile, &mut out);
+        lane.flush(&mut out);
+        IqBuffer::new(out, self.sample_rate)
+    }
+
+    /// A block-streaming emitter over the whole bank at PA drive
+    /// `drive`, advancing lanes on `threads` workers (1 = inline).
+    pub fn streamer(&self, drive: f64, threads: usize) -> BankStreamer {
+        BankStreamer::new(self, drive, threads)
     }
 
     /// Emits the whole bank for a shared profile: one buffer per device.
@@ -144,9 +159,7 @@ impl TxBank {
         assert!(!emissions.is_empty(), "nothing to superpose");
         let mut acc = IqBuffer::zeros(emissions[0].len(), emissions[0].sample_rate());
         for (e, &g) in emissions.iter().zip(gains) {
-            let mut scaled = e.clone();
-            scaled.scale(g);
-            acc.add_assign(&scaled);
+            accumulate_scaled(acc.samples_mut(), e.samples(), g);
         }
         acc
     }

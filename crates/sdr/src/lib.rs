@@ -28,6 +28,8 @@ pub mod device;
 pub mod frontend;
 pub mod pa;
 pub mod pll;
+pub mod stream;
 
 pub use bank::TxBank;
 pub use device::SdrDevice;
+pub use stream::{BankStreamer, EmitterLane};

@@ -1,0 +1,332 @@
+//! Block-streaming bank emission.
+//!
+//! [`EmitterLane`] is the streaming core behind [`TxBank::emit`]: one
+//! device's oscillator, PA and carrier-phase state, advanced block by
+//! block. The whole-buffer `emit` is now a thin wrapper — push the full
+//! profile, flush — so the two paths are bit-identical by construction.
+//!
+//! The only stateful subtlety is the trigger offset: device `i` reads
+//! the shared command profile at `k − shiftᵢ`, so a lane keeps a small
+//! sliding window of profile history (for positive shifts, i.e. delayed
+//! devices) and holds back up to `latency` output samples (for negative
+//! shifts, which need *future* profile samples). Both bounds are set by
+//! the clock distribution's trigger jitter — nanoseconds for an
+//! Octoclock, ≪ one block even free-running — so lane memory stays
+//! O(block + |shift|), independent of the stream length.
+//!
+//! [`BankStreamer`] runs one lane per device with a common latency, so
+//! every `push` yields the same number of aligned output samples on all
+//! lanes — exactly what the per-block superposition in `ivn-em` needs.
+//! Lane advancement is embarrassingly parallel (disjoint state) and
+//! runs on `ivn_runtime::par::par_for_each_mut_threads`; the output is
+//! bit-identical at any worker count.
+
+use crate::bank::TxBank;
+use crate::pa::PowerAmp;
+use ivn_dsp::block::BlockStage;
+use ivn_dsp::complex::Complex64;
+use ivn_dsp::osc::Oscillator;
+use ivn_runtime::par;
+
+/// One device's streaming emitter: carries oscillator phase, trigger
+/// shift and profile history across block boundaries.
+#[derive(Debug, Clone)]
+pub struct EmitterLane {
+    osc: Oscillator,
+    carrier: Complex64,
+    pa: PowerAmp,
+    drive: f64,
+    /// Trigger offset as a whole-sample profile shift (positive = the
+    /// device fires late and reads older profile samples).
+    shift: i64,
+    /// Output samples held back until enough profile has arrived
+    /// (covers lanes with negative shift in this bank).
+    latency: usize,
+    /// Profile history retained behind the emission point (covers
+    /// positive shifts).
+    lookback: usize,
+    hist: Vec<f64>,
+    hist_start: usize,
+    pushed: usize,
+    next: usize,
+}
+
+impl EmitterLane {
+    /// A streaming emitter for device `i` of `bank` at PA drive `drive`.
+    pub fn new(bank: &TxBank, i: usize, drive: f64) -> Self {
+        let dev = bank.device(i);
+        let shift = (dev.trigger_offset_s * bank.sample_rate()).round() as i64;
+        EmitterLane {
+            osc: Oscillator::new(bank.offsets_hz()[i], bank.sample_rate()),
+            carrier: Complex64::cis(dev.pll.initial_phase()),
+            pa: dev.pa,
+            drive,
+            shift,
+            latency: (-shift).max(0) as usize,
+            lookback: shift.max(0) as usize,
+            hist: Vec::new(),
+            hist_start: 0,
+            pushed: 0,
+            next: 0,
+        }
+    }
+
+    /// Forces a common output latency across a bank's lanes (must be at
+    /// least this lane's own requirement).
+    fn set_latency(&mut self, latency: usize) {
+        assert!(latency >= self.latency, "latency below lane requirement");
+        self.latency = latency;
+    }
+
+    /// The profile shift in samples.
+    pub fn shift(&self) -> i64 {
+        self.shift
+    }
+
+    /// Samples of profile history currently buffered (footprint probe).
+    pub fn history_len(&self) -> usize {
+        self.hist.len()
+    }
+
+    /// Emits output samples `next .. next+count`, reading profile
+    /// amplitudes from the history window. `total` is the final profile
+    /// length once known (`flush`); indices outside `[0, total)` read
+    /// as 1.0 — outside the command the carrier stays on.
+    fn emit_samples(&mut self, count: usize, total: Option<usize>, out: &mut Vec<Complex64>) {
+        if count == 0 {
+            return;
+        }
+        let _span = ivn_runtime::span!("sdr.emit_ns");
+        ivn_runtime::obs_count!("sdr.emissions", 1);
+        out.reserve(count);
+        for k in self.next..self.next + count {
+            let idx = k as i64 - self.shift;
+            let amp = if idx < 0 || total.is_some_and(|n| idx as usize >= n) {
+                // Outside the command: carrier stays on at full level.
+                1.0
+            } else {
+                let idx = idx as usize;
+                debug_assert!(
+                    idx >= self.hist_start && idx < self.hist_start + self.hist.len(),
+                    "profile index {idx} outside history window"
+                );
+                self.hist[idx - self.hist_start]
+            };
+            let s = self.osc.next_sample() * amp;
+            out.push(self.pa.process(s * self.drive) * self.carrier);
+        }
+        self.next += count;
+    }
+
+    /// Drops history the emission point has moved past.
+    fn compact(&mut self) {
+        let keep_from = self.next.saturating_sub(self.lookback);
+        if keep_from > self.hist_start {
+            self.hist.drain(..keep_from - self.hist_start);
+            self.hist_start = keep_from;
+        }
+    }
+}
+
+impl BlockStage for EmitterLane {
+    type In = f64;
+    type Out = Complex64;
+
+    fn push(&mut self, input: &[f64], out: &mut Vec<Complex64>) {
+        self.hist.extend_from_slice(input);
+        self.pushed += input.len();
+        let ready = self.pushed.saturating_sub(self.latency);
+        let count = ready.saturating_sub(self.next);
+        self.emit_samples(count, None, out);
+        self.compact();
+    }
+
+    fn flush(&mut self, out: &mut Vec<Complex64>) {
+        let total = self.pushed;
+        let count = total - self.next;
+        self.emit_samples(count, Some(total), out);
+        self.compact();
+    }
+}
+
+/// One lane plus its reusable output scratch block.
+#[derive(Debug, Clone)]
+struct LaneSlot {
+    lane: EmitterLane,
+    buf: Vec<Complex64>,
+}
+
+/// The whole bank as an aligned multi-lane streaming emitter: every
+/// [`BankStreamer::push`] advances all devices by the same number of
+/// output samples, leaving one block per device in reusable scratch.
+#[derive(Debug, Clone)]
+pub struct BankStreamer {
+    slots: Vec<LaneSlot>,
+    threads: usize,
+}
+
+impl BankStreamer {
+    /// Builds a streamer over `bank` at PA drive `drive`, advancing
+    /// lanes on `threads` workers (1 = inline).
+    pub fn new(bank: &TxBank, drive: f64, threads: usize) -> Self {
+        let lanes: Vec<EmitterLane> = (0..bank.len())
+            .map(|i| EmitterLane::new(bank, i, drive))
+            .collect();
+        // A common latency keeps every lane's output aligned.
+        let latency = lanes.iter().map(|l| l.latency).max().unwrap_or(0);
+        let slots = lanes
+            .into_iter()
+            .map(|mut lane| {
+                lane.set_latency(latency);
+                LaneSlot {
+                    lane,
+                    buf: Vec::new(),
+                }
+            })
+            .collect();
+        BankStreamer { slots, threads }
+    }
+
+    /// Number of lanes (devices).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the streamer has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Pushes one shared profile block; every lane appends the same
+    /// number of output samples to its scratch block (cleared first).
+    /// Returns that per-lane count.
+    pub fn push(&mut self, profile: &[f64]) -> usize {
+        par::par_for_each_mut_threads(self.threads, &mut self.slots, |_, slot| {
+            slot.buf.clear();
+            slot.lane.push(profile, &mut slot.buf);
+        });
+        self.slots.first().map_or(0, |s| s.buf.len())
+    }
+
+    /// Ends the stream, draining held-back samples into the per-lane
+    /// blocks. Returns the per-lane count.
+    pub fn flush(&mut self) -> usize {
+        par::par_for_each_mut_threads(self.threads, &mut self.slots, |_, slot| {
+            slot.buf.clear();
+            slot.lane.flush(&mut slot.buf);
+        });
+        self.slots.first().map_or(0, |s| s.buf.len())
+    }
+
+    /// Device `i`'s current output block.
+    pub fn block(&self, i: usize) -> &[Complex64] {
+        &self.slots[i].buf
+    }
+
+    /// All current output blocks, in device order.
+    pub fn blocks(&self) -> impl ExactSizeIterator<Item = &[Complex64]> {
+        self.slots.iter().map(|s| s.buf.as_slice())
+    }
+
+    /// Largest per-lane buffer currently held (scratch block + profile
+    /// history), in samples — the footprint probe for the sdr stage.
+    pub fn peak_lane_footprint(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.buf.len().max(s.lane.history_len()))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ClockDistribution;
+    use ivn_runtime::rng::StdRng;
+
+    const OFFSETS: [f64; 4] = [0.0, 7.0, 20.0, 49.0];
+
+    fn bank(clock: &ClockDistribution, seed: u64) -> TxBank {
+        let mut rng = StdRng::seed_from_u64(seed);
+        TxBank::new(&mut rng, 4, 915e6, 100e3, &OFFSETS, clock)
+    }
+
+    fn notched_profile(n: usize) -> Vec<f64> {
+        let mut p = vec![1.0; n];
+        for v in p[n / 3..n / 3 + n / 10].iter_mut() {
+            *v = 0.0;
+        }
+        p
+    }
+
+    #[test]
+    fn streaming_matches_batch_emit_any_block_size() {
+        // Free-running clock → trigger shifts of many whole samples, so
+        // both the history window and the latency path are exercised.
+        let b = bank(&ClockDistribution::free_running(), 9);
+        let profile = notched_profile(1000);
+        for block in [1usize, 7, 64, 1000] {
+            for i in 0..b.len() {
+                let batch = b.emit(i, &profile, 0.05);
+                let mut lane = EmitterLane::new(&b, i, 0.05);
+                let mut out = Vec::new();
+                for chunk in profile.chunks(block) {
+                    lane.push(chunk, &mut out);
+                }
+                lane.flush(&mut out);
+                assert_eq!(out.len(), profile.len(), "device {i} block {block}");
+                for (k, (s, t)) in out.iter().zip(batch.samples()).enumerate() {
+                    assert!(
+                        s.re.to_bits() == t.re.to_bits() && s.im.to_bits() == t.im.to_bits(),
+                        "device {i} block {block} sample {k}: {s:?} vs {t:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bank_streamer_aligned_and_identical_across_threads() {
+        let b = bank(&ClockDistribution::octoclock(), 3);
+        let profile = notched_profile(512);
+        let reference: Vec<_> = (0..b.len()).map(|i| b.emit(i, &profile, 0.05)).collect();
+        for threads in [1usize, 2, 8] {
+            let mut st = BankStreamer::new(&b, 0.05, threads);
+            let mut collected: Vec<Vec<Complex64>> = vec![Vec::new(); b.len()];
+            for chunk in profile.chunks(100) {
+                st.push(chunk);
+                for (i, c) in collected.iter_mut().enumerate() {
+                    c.extend_from_slice(st.block(i));
+                }
+            }
+            st.flush();
+            for (i, c) in collected.iter_mut().enumerate() {
+                c.extend_from_slice(st.block(i));
+            }
+            for (i, (got, want)) in collected.iter().zip(&reference).enumerate() {
+                assert_eq!(got, want.samples(), "device {i} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_history_stays_bounded() {
+        let b = bank(&ClockDistribution::free_running(), 9);
+        let mut lane = EmitterLane::new(&b, 0, 0.05);
+        let mut out = Vec::new();
+        let block = vec![1.0; 256];
+        let mut peak_hist = 0usize;
+        for _ in 0..100 {
+            out.clear();
+            lane.push(&block, &mut out);
+            peak_hist = peak_hist.max(lane.history_len());
+        }
+        // Bounded by block + |shift| slack, not by the 25 600 samples pushed.
+        let slack = lane.shift().unsigned_abs() as usize + lane.latency;
+        assert!(
+            peak_hist <= 256 + slack + 1,
+            "history {peak_hist} exceeds block+slack"
+        );
+    }
+}

@@ -95,4 +95,45 @@ props! {
             prop_assert!((*x * scale - *y).norm() < 1e-9 * scale.max(1.0));
         }
     }
+
+    fn streaming_bank_matches_batch_any_block(seed in any::<u64>(), block in 1usize..96) {
+        // Free-running clocks give every lane a different nonzero trigger
+        // shift, exercising the history/latency bookkeeping.
+        let offsets = [0.0, 11.0, 29.0];
+        let profile: Vec<f64> = (0..160).map(|i| 0.2 + 0.8 * (i as f64 / 159.0)).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bank = TxBank::new(
+            &mut rng, 3, 915e6, 1e5, &offsets, &ClockDistribution::free_running(),
+        );
+        let batch = bank.emit_all(&profile, 0.02);
+        let mut streamer = bank.streamer(0.02, 1);
+        let mut lanes: Vec<Vec<Complex64>> = vec![Vec::new(); 3];
+        for chunk in profile.chunks(block) {
+            streamer.push(chunk);
+            for (lane, b) in lanes.iter_mut().zip(streamer.blocks()) {
+                lane.extend_from_slice(b);
+            }
+        }
+        streamer.flush();
+        for (lane, b) in lanes.iter_mut().zip(streamer.blocks()) {
+            lane.extend_from_slice(b);
+        }
+        for (lane, buf) in lanes.iter().zip(&batch) {
+            prop_assert_eq!(lane.len(), buf.samples().len());
+            for (x, y) in lane.iter().zip(buf.samples()) {
+                prop_assert_eq!(x.re.to_bits(), y.re.to_bits());
+                prop_assert_eq!(x.im.to_bits(), y.im.to_bits());
+            }
+        }
+    }
+
+    fn hidden_phases_into_matches_allocating(n in 1usize..8, seed in any::<u64>()) {
+        let offsets: Vec<f64> = (0..n).map(|i| i as f64 * 13.0).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bank = TxBank::new(&mut rng, n, 915e6, 1e5, &offsets, &ClockDistribution::octoclock());
+        let alloc = bank.hidden_phases();
+        let mut scratch = vec![0.0; n];
+        bank.hidden_phases_into(&mut scratch);
+        prop_assert_eq!(alloc, scratch);
+    }
 }

@@ -102,4 +102,50 @@ awk -v v="$pct" 'BEGIN { exit !(v < 2.0) }' || {
 }
 echo "obs_overhead_pct=$pct"
 
+echo "==> streaming pipeline: bit-identical to whole-buffer batch path"
+STREAM_OUT=target/verify_stream.txt
+BATCH_OUT=target/verify_batch.txt
+cargo run --release --offline -p ivn-bench --bin reproduce -- pipeline --quick --stream-stats > "$STREAM_OUT"
+cargo run --release --offline -p ivn-bench --bin reproduce -- pipeline --quick --batch --stream-stats > "$BATCH_OUT"
+stream_hash=$(sed -n 's/.*rx_hash=\([0-9a-f]*\).*/\1/p' "$STREAM_OUT")
+batch_hash=$(sed -n 's/.*rx_hash=\([0-9a-f]*\).*/\1/p' "$BATCH_OUT")
+[ -n "$stream_hash" ] && [ -n "$batch_hash" ] || {
+    echo "verify: FAIL — rx_hash missing from pipeline output" >&2
+    exit 1
+}
+[ "$stream_hash" = "$batch_hash" ] || {
+    echo "verify: FAIL — streaming rx_hash $stream_hash != batch rx_hash $batch_hash" >&2
+    exit 1
+}
+echo "rx_hash=$stream_hash (streaming == batch)"
+
+echo "==> streaming pipeline: full 1 MS/s period with bounded per-stage memory"
+MSPS_OUT=target/verify_stream_1msps.txt
+cargo run --release --offline -p ivn-bench --bin reproduce -- pipeline --quick --sample-rate 1e6 --stream-stats > "$MSPS_OUT"
+grep -q 'powered=true' "$MSPS_OUT" || {
+    echo "verify: FAIL — 1 MS/s streaming run did not power the tag" >&2
+    exit 1
+}
+footprint=$(sed -n 's/^stream *footprint \(.*\) samples.*/\1/p' "$MSPS_OUT")
+[ -n "$footprint" ] || {
+    echo "verify: FAIL — footprint line missing from 1 MS/s run" >&2
+    exit 1
+}
+block=$(sed -n 's/.*block=\([0-9]*\).*/\1/p' "$MSPS_OUT")
+for kv in $footprint; do
+    stage=${kv%%=*}
+    peak=${kv#*=}
+    awk -v v="$peak" -v b="$block" 'BEGIN { exit !(v <= 2 * b) }' || {
+        echo "verify: FAIL — stage '$stage' peak footprint ${peak} samples exceeds 2x block (${block})" >&2
+        exit 1
+    }
+done
+echo "per-stage peak footprint [$footprint] all within 2x block=$block at 1 MS/s"
+
+echo "==> BENCH_runtime.json records streaming stage throughput"
+grep -q '"streaming"' BENCH_runtime.json && grep -q '"msps"' BENCH_runtime.json || {
+    echo "verify: FAIL — streaming throughput missing from BENCH_runtime.json" >&2
+    exit 1
+}
+
 echo "verify: OK"

@@ -1,0 +1,86 @@
+//! Streaming-vs-batch equivalence for the end-to-end sample path.
+//!
+//! The block pipeline (ISSUE 5) must be *bit-identical* to the
+//! whole-buffer oracle for every block size, not merely close: the same
+//! FNV digest over the superposed rx stream, the same calibration
+//! amplitudes to the last ulp, the same power-up sample index, the same
+//! decoded bits. These tests pin that contract, plus thread-count
+//! determinism of the parallel lane driver and the constant-memory
+//! guarantee (per-stage peak footprint bounded by the block size).
+
+use ivn_bench::pipeline::{outputs_batch, outputs_streaming, StreamOptions};
+
+const BLOCK_SIZES: [usize; 4] = [1, 7, 256, 4096];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn streaming_matches_batch_for_every_block_size() {
+    let batch = outputs_batch(true, None);
+    for block in BLOCK_SIZES {
+        let opts = StreamOptions {
+            block,
+            ..Default::default()
+        };
+        let report = outputs_streaming(true, &opts);
+        assert_eq!(
+            report.outputs, batch,
+            "block={block}: streaming diverged from whole-buffer oracle"
+        );
+    }
+}
+
+#[test]
+fn streaming_is_deterministic_across_thread_counts() {
+    let reference = outputs_streaming(true, &StreamOptions::default());
+    for threads in THREAD_COUNTS {
+        let opts = StreamOptions {
+            threads,
+            ..Default::default()
+        };
+        let report = outputs_streaming(true, &opts);
+        assert_eq!(
+            report.outputs, reference.outputs,
+            "{threads} threads changed the streamed output"
+        );
+    }
+}
+
+#[test]
+fn per_stage_footprint_is_bounded_by_block_size() {
+    for block in BLOCK_SIZES {
+        let opts = StreamOptions {
+            block,
+            ..Default::default()
+        };
+        let report = outputs_streaming(true, &opts);
+        assert!(!report.footprint.is_empty(), "footprint not recorded");
+        for &(stage, peak) in &report.footprint {
+            assert!(
+                peak <= 2 * block,
+                "block={block}: stage '{stage}' peak footprint {peak} exceeds 2x block"
+            );
+        }
+    }
+}
+
+#[test]
+fn rendered_report_matches_batch_renderer() {
+    // The human-readable pipeline report must not change shape between the
+    // streaming driver and the batch oracle (modulo the diagnostic lines,
+    // which are off by default).
+    let streamed = ivn_bench::pipeline::run_with(true, &StreamOptions::default());
+    let batch = ivn_bench::pipeline::run_batch(true, None, false);
+    assert_eq!(streamed, batch);
+}
+
+#[test]
+fn sample_rate_override_scales_the_run() {
+    let opts = StreamOptions {
+        sample_rate: Some(32_000.0),
+        ..Default::default()
+    };
+    let report = outputs_streaming(true, &opts);
+    assert_eq!(report.outputs.sample_rate, 32_000.0);
+    let batch = outputs_batch(true, Some(32_000.0));
+    assert_eq!(report.outputs, batch, "override diverged from oracle");
+}
