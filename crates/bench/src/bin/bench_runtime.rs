@@ -356,6 +356,44 @@ fn main() {
         ])
     };
 
+    // Mass-campaign throughput: a generated fleet of power-session
+    // scenarios through the campaign driver at full pool width.
+    let campaign_json = {
+        use ivn_core::scenario::{builtin, gen};
+        let n_scenarios = if fast { 64 } else { 256 };
+        let spec = gen::GenSpec {
+            base: builtin("session").expect("builtin"),
+            count: n_scenarios,
+            seed: SEED,
+            sweeps: vec![gen::SweepAxis {
+                path: "placement.depth_m".into(),
+                values: [0.02, 0.05, 0.08, 0.11]
+                    .iter()
+                    .map(|&d| Json::from(d))
+                    .collect(),
+            }],
+            jitters: vec![gen::JitterSpec {
+                path: "eirp_dbm".into(),
+                frac: 0.05,
+            }],
+        };
+        let fleet = gen::generate(&spec).expect("generate fleet");
+        let t0 = std::time::Instant::now();
+        let outcome = ivn_bench::campaign::run(&fleet, true, threads);
+        let seconds = t0.elapsed().as_secs_f64();
+        assert!(outcome.errors.is_empty(), "campaign errors: {outcome:?}");
+        let per_sec = n_scenarios as f64 / seconds;
+        println!(
+            "campaign: {n_scenarios} scenarios in {seconds:.2} s ({per_sec:.1} scenarios/sec)"
+        );
+        Json::obj([
+            ("scenarios", n_scenarios.into()),
+            ("threads", threads.into()),
+            ("seconds", seconds.into()),
+            ("scenarios_per_sec", per_sec.into()),
+        ])
+    };
+
     let obs_report = with_obs.then(|| {
         let report = obs::report();
         obs::set_enabled(false);
@@ -385,6 +423,7 @@ fn main() {
         ("stages", Json::Arr(stage_entries)),
         ("kernels", Json::Arr(kernel_entries)),
         ("streaming", streaming_json),
+        ("campaign", campaign_json),
         ("results", b.to_json()),
     ];
     if let Some(report) = obs_report {

@@ -1,4 +1,7 @@
-//! `reproduce` — regenerates every table and figure of the IVN paper.
+//! `reproduce` — regenerates every table and figure of the IVN paper,
+//! and runs declarative scenarios: every target is a named built-in
+//! [`ivn_core::scenario::Scenario`] resolved through the bench registry,
+//! and arbitrary scenario files run through the same door.
 //!
 //! ```text
 //! reproduce <target> [--quick] [--obs] [--obs-json <path>] [--trace <path>]
@@ -17,7 +20,17 @@
 //!   freqs   frequency-plan optimization (§5)
 //!   ablations   design-choice ablations
 //!   pipeline    end-to-end sample-path chain (all five crates)
-//!   all     everything above in order
+//!   session     one power-up + downlink session (metrics report)
+//!   multisensor Gen2 arbitration over a sensor population
+//!   all     the thirteen figure targets above in order
+//!
+//! scenario subcommands:
+//!   reproduce --scenario <file.json> [--quick]   run a scenario file
+//!   reproduce list                               list built-in scenarios
+//!   reproduce export <name> [--out <path>]       dump a built-in as JSON
+//!   reproduce generate --out <dir> [--base <name|file>] [--count N]
+//!             [--seed S] [--sweep path=v1,v2,..]... [--jitter path=frac]...
+//!   reproduce campaign <dir> [--quick] [--threads N] [--out <file>]
 //! ```
 //!
 //! `--obs` enables the `ivn_runtime::obs` observability layer for the run
@@ -30,6 +43,10 @@
 //! Instrumentation never changes figure bytes — `tests/determinism.rs`
 //! pins that.
 
+use ivn_bench::{campaign, registry};
+use ivn_core::scenario::{gen, Scenario};
+use ivn_runtime::json::Json;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const ALL_TARGETS: [&str; 13] = [
@@ -48,7 +65,12 @@ const ALL_TARGETS: [&str; 13] = [
     "pipeline",
 ];
 
-const USAGE: &str = "usage: reproduce <fig2|fig3|fig4|fig6|fig9|fig10|fig11|fig12|fig13|invivo|freqs|ablations|pipeline|all> [--quick] [--obs] [--obs-json <path>] [--trace <path>] [--sample-rate <hz>] [--block <n>] [--batch] [--stream-stats]";
+const USAGE: &str = "usage: reproduce <target|all> [--quick] [--obs] [--obs-json <path>] [--trace <path>] [--sample-rate <hz>] [--block <n>] [--batch] [--stream-stats]
+       reproduce --scenario <file.json> [--quick]
+       reproduce list
+       reproduce export <name> [--out <path>]
+       reproduce generate --out <dir> [--base <name|file>] [--count <n>] [--seed <s>] [--sweep <path=v1,v2,..>]... [--jitter <path=frac>]...
+       reproduce campaign <dir> [--quick] [--threads <n>] [--out <file>]";
 
 struct Args {
     target: Option<String>,
@@ -56,6 +78,22 @@ struct Args {
     with_obs: bool,
     obs_json: Option<String>,
     trace_path: Option<String>,
+    /// Run a scenario file instead of a named target.
+    scenario: Option<String>,
+    /// Shared output path (export/generate/campaign).
+    out: Option<String>,
+    /// generate: base scenario (built-in name or file path).
+    base: Option<String>,
+    /// generate: number of scenarios (0 = one per grid point).
+    count: usize,
+    /// generate: jitter seed.
+    seed: u64,
+    /// generate: sweep axes as `path=v1,v2,..`.
+    sweeps: Vec<String>,
+    /// generate: jitters as `path=frac`.
+    jitters: Vec<String>,
+    /// campaign: worker threads (0 = auto).
+    threads: usize,
     /// Pipeline-only: override the sample rate (e.g. 1e6 for 1 MS/s).
     sample_rate: Option<f64>,
     /// Pipeline-only: streaming block size.
@@ -73,6 +111,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         with_obs: false,
         obs_json: None,
         trace_path: None,
+        scenario: None,
+        out: None,
+        base: None,
+        count: 0,
+        seed: 0,
+        sweeps: Vec::new(),
+        jitters: Vec::new(),
+        threads: 0,
         sample_rate: None,
         block: None,
         batch: false,
@@ -90,6 +136,38 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--trace" => {
                 let path = it.next().ok_or("--trace needs a path")?;
                 args.trace_path = Some(path.clone());
+            }
+            "--scenario" => {
+                let path = it.next().ok_or("--scenario needs a file path")?;
+                args.scenario = Some(path.clone());
+            }
+            "--out" => {
+                let path = it.next().ok_or("--out needs a path")?;
+                args.out = Some(path.clone());
+            }
+            "--base" => {
+                let b = it.next().ok_or("--base needs a name or file path")?;
+                args.base = Some(b.clone());
+            }
+            "--count" => {
+                let v = it.next().ok_or("--count needs a number")?;
+                args.count = v.parse().map_err(|_| format!("bad --count '{v}'"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed '{v}'"))?;
+            }
+            "--sweep" => {
+                let v = it.next().ok_or("--sweep needs path=v1,v2,..")?;
+                args.sweeps.push(v.clone());
+            }
+            "--jitter" => {
+                let v = it.next().ok_or("--jitter needs path=frac")?;
+                args.jitters.push(v.clone());
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a number")?;
+                args.threads = v.parse().map_err(|_| format!("bad --threads '{v}'"))?;
             }
             "--sample-rate" => {
                 let v = it.next().ok_or("--sample-rate needs a value in Hz")?;
@@ -110,15 +188,142 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--batch" => args.batch = true,
             "--stream-stats" => args.stream_stats = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
-            target => {
-                if args.target.is_some() {
-                    return Err(format!("unexpected extra target '{target}'"));
+            word => {
+                // First positional is the target/subcommand; export and
+                // campaign take one operand each.
+                match args.target.as_deref() {
+                    None => args.target = Some(word.to_string()),
+                    Some("export") | Some("campaign") if args.base.is_none() => {
+                        args.base = Some(word.to_string())
+                    }
+                    _ => return Err(format!("unexpected extra argument '{word}'")),
                 }
-                args.target = Some(target.to_string());
             }
         }
     }
     Ok(args)
+}
+
+/// Loads a scenario from a built-in name or a JSON file path.
+fn load_base(spec: &str) -> Result<Scenario, String> {
+    if let Some(s) = registry::builtin(spec) {
+        return Ok(s);
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| format!("'{spec}' is not a built-in scenario and not readable: {e}"))?;
+    Scenario::parse(&text).map_err(|e| format!("{spec}: {}", e.reason))
+}
+
+/// Parses one `path=v1,v2,..` sweep axis; each value is JSON if it
+/// parses, a bare string otherwise.
+fn parse_sweep(arg: &str) -> Result<gen::SweepAxis, String> {
+    let (path, vals) = arg
+        .split_once('=')
+        .ok_or_else(|| format!("--sweep '{arg}' is not path=v1,v2,.."))?;
+    let values: Vec<Json> = vals
+        .split(',')
+        .map(|v| Json::parse(v).unwrap_or_else(|_| Json::Str(v.to_string())))
+        .collect();
+    if values.is_empty() {
+        return Err(format!("--sweep '{arg}' has no values"));
+    }
+    Ok(gen::SweepAxis {
+        path: path.to_string(),
+        values,
+    })
+}
+
+/// Parses one `path=frac` jitter spec.
+fn parse_jitter(arg: &str) -> Result<gen::JitterSpec, String> {
+    let (path, frac) = arg
+        .split_once('=')
+        .ok_or_else(|| format!("--jitter '{arg}' is not path=frac"))?;
+    let frac: f64 = frac
+        .parse()
+        .map_err(|_| format!("--jitter '{arg}': bad fraction"))?;
+    Ok(gen::JitterSpec {
+        path: path.to_string(),
+        frac,
+    })
+}
+
+fn cmd_list() -> ExitCode {
+    println!("{:<14}  {:<18}  {}", "name", "kind", "description");
+    for name in registry::builtin_names() {
+        let s = registry::builtin(name).expect("registered builtin");
+        println!("{:<14}  {:<18}  seed {}", name, s.kind.type_name(), s.seed);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_export(args: &Args) -> Result<(), String> {
+    let name = args
+        .base
+        .as_deref()
+        .ok_or("export needs a built-in scenario name")?;
+    let s = registry::builtin(name).ok_or_else(|| {
+        format!(
+            "unknown scenario '{name}' (try: {})",
+            registry::builtin_names().join(", ")
+        )
+    })?;
+    let doc = s.dump() + "\n";
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {name} to {path}");
+        }
+        None => print!("{doc}"),
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let out = args.out.as_deref().ok_or("generate needs --out <dir>")?;
+    let base = load_base(args.base.as_deref().unwrap_or("session"))?;
+    let spec = gen::GenSpec {
+        base,
+        count: args.count,
+        seed: args.seed,
+        sweeps: args
+            .sweeps
+            .iter()
+            .map(|s| parse_sweep(s))
+            .collect::<Result<_, _>>()?,
+        jitters: args
+            .jitters
+            .iter()
+            .map(|j| parse_jitter(j))
+            .collect::<Result<_, _>>()?,
+    };
+    let scenarios = gen::generate(&spec)?;
+    let dir = PathBuf::from(out);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {out}: {e}"))?;
+    for s in &scenarios {
+        let path = dir.join(format!("{}.json", s.name));
+        std::fs::write(&path, s.dump() + "\n")
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    println!("generated {} scenarios in {out}", scenarios.len());
+    Ok(())
+}
+
+fn cmd_campaign(args: &Args) -> Result<(), String> {
+    let dir = args.base.as_deref().ok_or("campaign needs a directory")?;
+    let scenarios = campaign::load_dir(Path::new(dir))?;
+    let threads = if args.threads == 0 {
+        ivn_runtime::par::num_threads()
+    } else {
+        args.threads
+    };
+    let outcome = campaign::run(&scenarios, args.quick, threads);
+    print!("{}", outcome.render());
+    if let Some(path) = &args.out {
+        std::fs::write(path, outcome.report().dump() + "\n")
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote campaign report to {path}");
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -130,7 +335,40 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let Some(target) = args.target else {
+    let fail = |e: String| -> ExitCode {
+        eprintln!("reproduce: {e}");
+        ExitCode::FAILURE
+    };
+
+    // Scenario subcommands (no obs/trace plumbing — they are drivers,
+    // not figure renders).
+    match args.target.as_deref() {
+        Some("list") => return cmd_list(),
+        Some("export") => {
+            return match cmd_export(&args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(e),
+            }
+        }
+        Some("generate") => {
+            return match cmd_generate(&args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(e),
+            }
+        }
+        Some("campaign") => {
+            return match cmd_campaign(&args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(e),
+            }
+        }
+        _ => {}
+    }
+
+    let Some(target) = args.target.clone().or_else(|| {
+        // `--scenario file.json` with no positional target.
+        args.scenario.as_ref().map(|_| "--scenario".to_string())
+    }) else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
@@ -181,51 +419,62 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     };
 
-    let render = |name: &str| -> Option<String> {
-        Some(match name {
-            "fig2" => ivn_bench::fig02_diode::run(quick),
-            "fig3" => ivn_bench::fig03_tissue_loss::run(quick),
-            "fig4" => ivn_bench::fig04_conduction::run(quick),
-            "fig6" => ivn_bench::fig06_freq_cdf::run(quick),
-            "fig9" => ivn_bench::fig09_gain_vs_antennas::run(quick),
-            "fig10" => ivn_bench::fig10_gain_stability::run(quick),
-            "fig11" => ivn_bench::fig11_media::run(quick),
-            "fig12" => ivn_bench::fig12_ratio_cdf::run(quick),
-            "fig13" => ivn_bench::fig13_range::run(quick),
-            "invivo" => ivn_bench::fig15_invivo::run(quick),
-            "freqs" => ivn_bench::tbl_freqs::run(quick),
-            "ablations" => ivn_bench::ablations::run(quick),
-            "pipeline" => {
-                if args.batch {
-                    ivn_bench::pipeline::run_batch(quick, args.sample_rate, args.stream_stats)
-                } else {
-                    let mut opts = ivn_bench::pipeline::StreamOptions {
-                        sample_rate: args.sample_rate,
-                        stats: args.stream_stats,
-                        ..Default::default()
-                    };
-                    if let Some(b) = args.block {
-                        opts.block = b;
-                    }
-                    ivn_bench::pipeline::run_with(quick, &opts)
+    // The pipeline target keeps its streaming knobs outside the scenario
+    // substrate; everything else resolves through the registry.
+    let render = |name: &str| -> Option<Result<String, String>> {
+        if name == "pipeline" {
+            return Some(Ok(if args.batch {
+                ivn_bench::pipeline::run_batch(quick, args.sample_rate, args.stream_stats)
+            } else {
+                let mut opts = ivn_bench::pipeline::StreamOptions {
+                    sample_rate: args.sample_rate,
+                    stats: args.stream_stats,
+                    ..Default::default()
+                };
+                if let Some(b) = args.block {
+                    opts.block = b;
                 }
-            }
-            _ => return None,
-        })
+                ivn_bench::pipeline::run_with(quick, &opts)
+            }));
+        }
+        let s = registry::builtin(name)?;
+        Some(registry::render(&s, quick))
     };
+
+    if let Some(path) = &args.scenario {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(format!("cannot read {path}: {e}")),
+        };
+        let s = match Scenario::parse(&text) {
+            Ok(s) => s,
+            Err(e) => return fail(format!("{path}: {}", e.reason)),
+        };
+        return match registry::render(&s, quick) {
+            Ok(out) => {
+                print!("{out}");
+                finish()
+            }
+            Err(e) => fail(format!("{path}: {e}")),
+        };
+    }
 
     if target == "all" {
         for name in ALL_TARGETS {
-            print!("{}", render(name).expect("known target"));
+            match render(name).expect("known target") {
+                Ok(s) => print!("{s}"),
+                Err(e) => return fail(format!("{name}: {e}")),
+            }
         }
         return finish();
     }
 
     match render(&target) {
-        Some(s) => {
+        Some(Ok(s)) => {
             print!("{s}");
             finish()
         }
+        Some(Err(e)) => fail(format!("{target}: {e}")),
         None => {
             eprintln!("unknown target '{target}'\n{USAGE}");
             ExitCode::FAILURE

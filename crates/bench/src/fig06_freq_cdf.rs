@@ -1,31 +1,25 @@
-//! Fig. 6 — CDFs of the 5-antenna peak power gain for the best and worst
-//! frequency combinations under random channel conditions.
+//! Fig. 6 — CDFs of the peak power gain for the best and worst frequency
+//! combinations under random channel conditions.
 
-use ivn_core::experiment::peak_gain_cdf;
-use ivn_core::freqsel::{optimize, pessimize, FreqSelConfig};
+use ivn_core::experiment::gain_cdf_experiment;
+use ivn_core::scenario::Scenario;
 
-/// Regenerates Fig. 6. `quick` trims the Monte-Carlo counts.
-pub fn run(quick: bool) -> String {
-    let (trials, grid) = if quick { (200, 1024) } else { (2000, 4096) };
-    let mut cfg = FreqSelConfig::test_scale(5);
-    if !quick {
-        cfg.mc_draws = 96;
-        cfg.iterations = 200;
-        cfg.restarts = 6;
-    }
-    let best = optimize(&cfg, 2018);
-    let worst = pessimize(&cfg, 2018);
-    let best_cdf = peak_gain_cdf(&best.offsets_hz, trials, grid, 606);
-    let worst_cdf = peak_gain_cdf(&worst.offsets_hz, trials, grid, 606);
+/// Renders Fig. 6 for a `gain_cdf` scenario: the Eq. 10 search's best
+/// and worst plans and both gain CDFs.
+pub fn render(s: &Scenario, quick: bool) -> String {
+    let r = gain_cdf_experiment(s, quick);
+    let n = r.best.offsets_hz.len();
 
-    let mut out = crate::header("Fig. 6 — CDF of 5-antenna peak power gain: best vs worst Δf set");
+    let mut out = crate::header(&format!(
+        "Fig. 6 — CDF of {n}-antenna peak power gain: best vs worst Δf set"
+    ));
     out += &format!(
-        "best plan:  {:?} Hz (E[peak] = {:.2} of 5)\n",
-        best.offsets_hz, best.expected_peak
+        "best plan:  {:?} Hz (E[peak] = {:.2} of {n})\n",
+        r.best.offsets_hz, r.best.expected_peak
     );
     out += &format!(
-        "worst plan: {:?} Hz (E[peak] = {:.2} of 5)\n\n",
-        worst.offsets_hz, worst.expected_peak
+        "worst plan: {:?} Hz (E[peak] = {:.2} of {n})\n\n",
+        r.worst.offsets_hz, r.worst.expected_peak
     );
     out += &format!(
         "{:>12}  {:>12}  {:>12}\n",
@@ -36,16 +30,25 @@ pub fn run(quick: bool) -> String {
         out += &format!(
             "{:>12.0}  {:>12.3}  {:>12.3}\n",
             gain,
-            best_cdf.eval(gain),
-            worst_cdf.eval(gain)
+            r.best_cdf.eval(gain),
+            r.worst_cdf.eval(gain)
         );
     }
     out += &format!(
-        "\nmedians: best {:.1} / worst {:.1} (optimal N² = 25)\n",
-        best_cdf.quantile(0.5).unwrap_or(0.0),
-        worst_cdf.quantile(0.5).unwrap_or(0.0),
+        "\nmedians: best {:.1} / worst {:.1} (optimal N² = {})\n",
+        r.best_cdf.quantile(0.5).unwrap_or(0.0),
+        r.worst_cdf.quantile(0.5).unwrap_or(0.0),
+        n * n,
     );
     out
+}
+
+/// Regenerates Fig. 6 from the built-in scenario.
+pub fn run(quick: bool) -> String {
+    render(
+        &ivn_core::scenario::builtin("fig6").expect("builtin"),
+        quick,
+    )
 }
 
 #[cfg(test)]

@@ -2,11 +2,12 @@
 //! percentile error bars over random channel conditions).
 
 use ivn_core::experiment::gain_vs_antennas;
+use ivn_core::scenario::Scenario;
 
-/// Regenerates Fig. 9. The paper runs 150 trials.
-pub fn run(quick: bool) -> String {
-    let trials = if quick { 50 } else { 150 };
-    let rows = gain_vs_antennas(10, trials, 918);
+/// Renders Fig. 9 for a `gain_vs_antennas` scenario. The paper runs 150
+/// trials per antenna count.
+pub fn render(s: &Scenario, quick: bool) -> String {
+    let rows = gain_vs_antennas(s, quick);
     let mut out = crate::header("Fig. 9 — peak power gain vs number of antennas");
     out += &format!(
         "{:>10}  {:>10}  {:>10}  {:>10}\n",
@@ -18,15 +19,36 @@ pub fn run(quick: bool) -> String {
             r.n, r.gain.p10, r.gain.median, r.gain.p90
         );
     }
-    out += &format!(
-        "\npaper anchors: median ≈ 55× at N=8; gains as high as 85× at N=10\nmeasured:     median {:.0}× at N=8; p90 {:.0}× at N=10\n",
-        rows[7].gain.median, rows[9].gain.p90
-    );
+    // Anchor rows are looked up by antenna count — a sweep that stops
+    // short of N=8/N=10 degrades gracefully instead of panicking.
+    let g8 = rows.iter().find(|r| r.n == 8);
+    let g10 = rows.iter().find(|r| r.n == 10);
+    match (g8, g10) {
+        (Some(g8), Some(g10)) => {
+            out += &format!(
+                "\npaper anchors: median ≈ 55× at N=8; gains as high as 85× at N=10\nmeasured:     median {:.0}× at N=8; p90 {:.0}× at N=10\n",
+                g8.gain.median, g10.gain.p90
+            );
+        }
+        _ => {
+            out += "\npaper anchors: median ≈ 55× at N=8; gains as high as 85× at N=10\nmeasured:     sweep does not reach N=8/N=10 — no anchor comparison\n";
+        }
+    }
     out
+}
+
+/// Regenerates Fig. 9 from the built-in scenario.
+pub fn run(quick: bool) -> String {
+    render(
+        &ivn_core::scenario::builtin("fig9").expect("builtin"),
+        quick,
+    )
 }
 
 #[cfg(test)]
 mod tests {
+    use ivn_core::scenario::{builtin, ScenarioKind};
+
     #[test]
     fn ten_rows_increasing() {
         let s = super::run(true);
@@ -37,5 +59,13 @@ mod tests {
             10
         );
         assert!(s.contains("paper anchors"));
+    }
+
+    #[test]
+    fn short_sweep_does_not_panic() {
+        let mut s = builtin("fig9").unwrap();
+        s.kind = ScenarioKind::GainVsAntennas { n_max: 4 };
+        let out = super::render(&s, true);
+        assert!(out.contains("no anchor comparison"), "{out}");
     }
 }

@@ -2,21 +2,19 @@
 //! orientation (b): the gain is stable because CIB is channel-blind.
 
 use ivn_core::experiment::{gain_vs_depth, gain_vs_orientation};
+use ivn_core::scenario::Scenario;
 
-/// Regenerates Fig. 10a and 10b.
-pub fn run(quick: bool) -> String {
-    let trials = if quick { 30 } else { 100 };
-    let depths = [0.0, 0.025, 0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20];
-    let orientations: Vec<f64> = (0..9)
-        .map(|k| k as f64 * std::f64::consts::TAU / 8.0 / 2.0)
-        .collect();
-
-    let mut out = crate::header("Fig. 10a — power gain vs depth in water (10 antennas)");
+/// Renders Fig. 10a and 10b for a `gain_stability` scenario.
+pub fn render(s: &Scenario, quick: bool) -> String {
+    let n = s.array.n_antennas;
+    let mut out = crate::header(&format!(
+        "Fig. 10a — power gain vs depth in water ({n} antennas)"
+    ));
     out += &format!(
         "{:>12}  {:>10}  {:>10}  {:>10}\n",
         "depth (cm)", "p10", "median", "p90"
     );
-    for r in gain_vs_depth(&depths, trials, 1010) {
+    for r in gain_vs_depth(s, quick) {
         out += &format!(
             "{:>12.1}  {:>10.1}  {:>10.1}  {:>10.1}\n",
             r.parameter * 100.0,
@@ -26,12 +24,14 @@ pub fn run(quick: bool) -> String {
         );
     }
 
-    out += &crate::header("Fig. 10b — power gain vs orientation (10 antennas)");
+    out += &crate::header(&format!(
+        "Fig. 10b — power gain vs orientation ({n} antennas)"
+    ));
     out += &format!(
         "{:>12}  {:>10}  {:>10}  {:>10}\n",
         "theta (rad)", "p10", "median", "p90"
     );
-    for r in gain_vs_orientation(&orientations, trials, 1011) {
+    for r in gain_vs_orientation(s, quick) {
         out += &format!(
             "{:>12.2}  {:>10.1}  {:>10.1}  {:>10.1}\n",
             r.parameter, r.gain.p10, r.gain.median, r.gain.p90
@@ -39,6 +39,14 @@ pub fn run(quick: bool) -> String {
     }
     out += "\npaper: gain stays ~constant across depth and orientation (channel-blind)\n";
     out
+}
+
+/// Regenerates Fig. 10a and 10b from the built-in scenario.
+pub fn run(quick: bool) -> String {
+    render(
+        &ivn_core::scenario::builtin("fig10").expect("builtin"),
+        quick,
+    )
 }
 
 #[cfg(test)]

@@ -2,13 +2,17 @@
 //! vs the blind 10-antenna baseline (green), both over a single antenna.
 
 use ivn_core::experiment::gain_across_media;
+use ivn_core::scenario::Scenario;
 
-/// Regenerates Fig. 11 over air, water, gastric fluid, intestinal fluid,
-/// steak, bacon and chicken. The paper runs 100 experiments.
-pub fn run(quick: bool) -> String {
-    let trials = if quick { 40 } else { 100 };
-    let rows = gain_across_media(trials, 1111);
-    let mut out = crate::header("Fig. 11 — gain across media: CIB vs 10-antenna baseline");
+/// Renders Fig. 11 for a `media_gain` scenario over air, water, gastric
+/// fluid, intestinal fluid, steak, bacon and chicken. The paper runs 100
+/// experiments.
+pub fn render(s: &Scenario, quick: bool) -> String {
+    let rows = gain_across_media(s, quick);
+    let n = s.array.n_antennas;
+    let mut out = crate::header(&format!(
+        "Fig. 11 — gain across media: CIB vs {n}-antenna baseline"
+    ));
     out += &format!(
         "{:<18}  {:>22}  {:>22}\n",
         "medium", "CIB med [p10,p90]", "baseline med [p10,p90]"
@@ -32,6 +36,14 @@ pub fn run(quick: bool) -> String {
         mean_cib / mean_base
     );
     out
+}
+
+/// Regenerates Fig. 11 from the built-in scenario.
+pub fn run(quick: bool) -> String {
+    render(
+        &ivn_core::scenario::builtin("fig11").expect("builtin"),
+        quick,
+    )
 }
 
 #[cfg(test)]

@@ -2,12 +2,15 @@
 //! 10-antenna baseline's, per location (log-scale x-axis in the paper).
 
 use ivn_core::experiment::cib_vs_baseline_cdf;
+use ivn_core::scenario::Scenario;
 
-/// Regenerates Fig. 12.
-pub fn run(quick: bool) -> String {
-    let trials = if quick { 300 } else { 3000 };
-    let cdf = cib_vs_baseline_cdf(trials, 1212);
-    let mut out = crate::header("Fig. 12 — CDF of CIB / 10-antenna-baseline power ratio");
+/// Renders Fig. 12 for a `ratio_cdf` scenario.
+pub fn render(s: &Scenario, quick: bool) -> String {
+    let cdf = cib_vs_baseline_cdf(s, quick);
+    let n = s.array.n_antennas;
+    let mut out = crate::header(&format!(
+        "Fig. 12 — CDF of CIB / {n}-antenna-baseline power ratio"
+    ));
     out += &format!("{:>14}  {:>10}\n", "ratio (log)", "CDF");
     for exp in [
         -0.5, 0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0,
@@ -22,6 +25,14 @@ pub fn run(quick: bool) -> String {
         cdf.quantile(0.99).unwrap_or(0.0),
     );
     out
+}
+
+/// Regenerates Fig. 12 from the built-in scenario.
+pub fn run(quick: bool) -> String {
+    render(
+        &ivn_core::scenario::builtin("fig12").expect("builtin"),
+        quick,
+    )
 }
 
 #[cfg(test)]

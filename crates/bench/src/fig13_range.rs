@@ -6,43 +6,47 @@
 //! decode through the CIB ripple, and RN16 recovery at the out-of-band
 //! reader — the paper's "reader can decode the tag's RN16" criterion.
 
-use ivn_core::body::TagSpec;
-use ivn_core::experiment::{range_vs_antennas, RangeEnvironment};
+use ivn_core::experiment::range_vs_antennas;
+use ivn_core::scenario::{PlacementSpec, Scenario, TagKind};
 
-/// Regenerates all four Fig. 13 panels.
-pub fn run(quick: bool) -> String {
-    let n_max = if quick { 4 } else { 8 };
+/// Renders all four Fig. 13 panels by deriving each panel's scenario
+/// from the base `range` scenario: tag and environment vary, everything
+/// else (seed, antenna sweep, EIRP) is shared.
+pub fn render(s: &Scenario, quick: bool) -> String {
+    let air = PlacementSpec::FreeSpace { range_m: 2.0 };
+    let water = PlacementSpec::WaterTank { depth_m: 0.10 };
     let mut out = String::new();
     let panels = [
         (
             "Fig. 13a — standard tag in air (m)",
-            RangeEnvironment::Air,
-            TagSpec::standard(),
+            air.clone(),
+            TagKind::Standard,
             1.0,
         ),
         (
             "Fig. 13b — miniature tag in air (m)",
-            RangeEnvironment::Air,
-            TagSpec::miniature(),
+            air,
+            TagKind::Miniature,
             1.0,
         ),
         (
             "Fig. 13c — standard tag in water (cm)",
-            RangeEnvironment::Water,
-            TagSpec::standard(),
+            water.clone(),
+            TagKind::Standard,
             100.0,
         ),
         (
             "Fig. 13d — miniature tag in water (cm)",
-            RangeEnvironment::Water,
-            TagSpec::miniature(),
+            water,
+            TagKind::Miniature,
             100.0,
         ),
     ];
-    for (title, env, tag, scale) in panels {
+    for (title, placement, tag, scale) in panels {
+        let panel = s.clone().with_placement(placement).with_tag(tag);
         out += &crate::header(title);
         out += &format!("{:>10}  {:>12}\n", "antennas", "max range");
-        let rows = range_vs_antennas(env, tag, n_max, 1313);
+        let rows = range_vs_antennas(&panel, quick);
         for r in &rows {
             out += &format!("{:>10}  {:>12.2}\n", r.n, r.range_m * scale);
         }
@@ -59,6 +63,14 @@ pub fn run(quick: bool) -> String {
     }
     out += "\npaper anchors: std tag air 5.2 m → 38 m (7.6×); std water → 23 cm; mini water → 11 cm; mini cannot power without CIB\n";
     out
+}
+
+/// Regenerates all four Fig. 13 panels from the built-in scenario.
+pub fn run(quick: bool) -> String {
+    render(
+        &ivn_core::scenario::builtin("fig13").expect("builtin"),
+        quick,
+    )
 }
 
 #[cfg(test)]

@@ -2,12 +2,15 @@
 //! placements for both tags, preamble-correlation ≥ 0.8 success criterion.
 
 use ivn_core::experiment::in_vivo_campaign;
+use ivn_core::scenario::Scenario;
 
-/// Regenerates the §6.2 results table.
-pub fn run(quick: bool) -> String {
-    let trials = if quick { 6 } else { 12 };
-    let rows = in_vivo_campaign(trials, 1515);
-    let mut out = crate::header("§6.2 / Fig. 15 — in-vivo swine campaign (8 antennas)");
+/// Renders the §6.2 results table for an `in_vivo` scenario.
+pub fn render(s: &Scenario, quick: bool) -> String {
+    let rows = in_vivo_campaign(s, quick);
+    let mut out = crate::header(&format!(
+        "§6.2 / Fig. 15 — in-vivo swine campaign ({} antennas)",
+        s.array.n_antennas
+    ));
     out += &format!(
         "{:<22}  {:<16}  {:>10}  {:>12}\n",
         "placement", "tag", "success", "median corr"
@@ -20,6 +23,14 @@ pub fn run(quick: bool) -> String {
     }
     out += "\npaper: gastric standard 3/6; gastric miniature 0/6; subcutaneous standard & miniature all trials\n";
     out
+}
+
+/// Regenerates the §6.2 results table from the built-in scenario.
+pub fn run(quick: bool) -> String {
+    render(
+        &ivn_core::scenario::builtin("invivo").expect("builtin"),
+        quick,
+    )
 }
 
 #[cfg(test)]

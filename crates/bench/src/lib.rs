@@ -25,6 +25,14 @@ pub mod tbl_freqs;
 /// Ablation studies for the design choices DESIGN.md calls out.
 pub mod ablations;
 
+/// Scenario registry: dispatches any [`ivn_core::scenario::Scenario`]
+/// to the figure module that renders its kind.
+pub mod registry;
+
+/// Mass-campaign driver: directories of scenario files through the
+/// worker pool, with a deterministic aggregate.
+pub mod campaign;
+
 /// End-to-end sample-path chain (freqsel → sdr → em → harvester → rfid).
 pub mod pipeline;
 

@@ -1,23 +1,25 @@
 //! §5 — the one-time frequency-plan optimization that produced the
 //! paper's offsets {0, 7, 20, 49, 68, 73, 90, 113, 121, 137} Hz.
 
-use ivn_core::freqsel::{expected_peak, optimize, FreqSelConfig};
+use ivn_core::freqsel::{expected_peak, optimize};
+use ivn_core::scenario::{Scenario, ScenarioKind};
 use ivn_core::waveform::{eq9_rms_bound, rms_offset};
 use ivn_runtime::rng::StdRng;
 
-/// Re-runs the Eq. 10 optimization at paper scale (N = 10, RMS ≤ 199 Hz)
-/// and compares the result to the paper's published plan.
-pub fn run(quick: bool) -> String {
-    let mut cfg = FreqSelConfig::paper_scale();
-    if quick {
-        cfg.mc_draws = 32;
-        cfg.iterations = 60;
-        cfg.restarts = 3;
-        cfg.grid = 512;
-    }
-    let plan = optimize(&cfg, 5150);
+/// Renders the Eq. 10 optimization for a `freq_plan_search` scenario and
+/// compares the result to the paper's published plan.
+pub fn render(s: &Scenario, quick: bool) -> String {
+    let ScenarioKind::FreqPlanSearch { freqsel } = &s.kind else {
+        panic!(
+            "tbl_freqs needs a 'freq_plan_search' scenario, got '{}'",
+            s.kind.type_name()
+        )
+    };
+    let cfg = freqsel.resolve(quick);
+    let plan = optimize(&cfg, s.seed);
     let mut rng = StdRng::seed_from_u64(42);
     let paper_score = expected_peak(&ivn_core::PAPER_OFFSETS_HZ, cfg.mc_draws, 2048, &mut rng);
+    let n = cfg.n_antennas;
 
     let mut out = crate::header("§5 — CIB frequency-plan optimization (Eq. 10)");
     out += &format!(
@@ -25,22 +27,32 @@ pub fn run(quick: bool) -> String {
         eq9_rms_bound(0.5, 800e-6)
     );
     out += &format!(
-        "paper plan:     {:?}\n  rms {:>6.1} Hz, E[peak] {:.2} of 10\n",
+        "paper plan:     {:?}\n  rms {:>6.1} Hz, E[peak] {:.2} of {n}\n",
         ivn_core::PAPER_OFFSETS_HZ,
         rms_offset(&ivn_core::PAPER_OFFSETS_HZ),
         paper_score
     );
     out += &format!(
-        "optimized plan: {:?}\n  rms {:>6.1} Hz, E[peak] {:.2} of 10\n",
+        "optimized plan: {:?}\n  rms {:>6.1} Hz, E[peak] {:.2} of {n}\n",
         plan.offsets_hz,
         plan.rms_hz(),
         plan.expected_peak
     );
     out += &format!(
-        "\nexpected peak power gain of optimized plan: {:.0}× (ceiling 100×)\n",
-        plan.expected_power_gain()
+        "\nexpected peak power gain of optimized plan: {:.0}× (ceiling {}×)\n",
+        plan.expected_power_gain(),
+        n * n,
     );
     out
+}
+
+/// Re-runs the optimization from the built-in scenario (N = 10,
+/// RMS ≤ 199 Hz, paper effort levels).
+pub fn run(quick: bool) -> String {
+    render(
+        &ivn_core::scenario::builtin("freqs").expect("builtin"),
+        quick,
+    )
 }
 
 #[cfg(test)]

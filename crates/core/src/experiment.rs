@@ -1,9 +1,12 @@
 //! Seeded experiment runners for every figure in the paper's evaluation.
 //!
-//! Each function reproduces one measurement campaign and returns the
-//! statistics the paper plots. The bench harness (`ivn-bench`) formats
-//! them into the paper's rows/series; integration tests assert their
-//! shapes.
+//! Each figure-level function takes a declarative [`Scenario`] (built-in
+//! ones come from [`crate::scenario::builtin`]) plus the quick/full run
+//! mode, and returns the statistics the paper plots. The bench harness
+//! (`ivn-bench`) formats them into the paper's rows/series; integration
+//! tests assert their shapes. Low-level positional kernels
+//! (`*_threads`, [`range_vs_antennas_env`]) remain for determinism tests
+//! and micro-benchmarks.
 //!
 //! All Monte-Carlo loops run on the `ivn-runtime` worker pool: trial `i`
 //! draws from an RNG stream forked off the campaign seed
@@ -13,8 +16,10 @@
 //! plain forms use [`ivn_runtime::par::num_threads`].
 
 use crate::baselines::{Beamformer, BlindCoherent, CibBeamformer, CoherentMrt, SingleAntenna};
-use crate::body::{Placement, TagSpec, PAPER_EIRP_DBM};
+use crate::body::{Placement, TagSpec};
 use crate::cib::CibConfig;
+use crate::freqsel::{optimize, pessimize, FrequencyPlan};
+use crate::scenario::{PlacementSpec, Scenario, ScenarioKind};
 use crate::system::{IvnSystem, SystemConfig};
 use ivn_dsp::complex::Complex64;
 use ivn_dsp::stats::{Ecdf, Summary};
@@ -85,6 +90,50 @@ pub fn peak_gain_cdf_threads(
     Ecdf::new(samples)
 }
 
+/// Fig. 6 as one experiment: the Eq. 10 search's best and worst plans and
+/// their gain CDFs under random channels.
+#[derive(Debug, Clone)]
+pub struct GainCdfResult {
+    /// The optimizer's best plan.
+    pub best: FrequencyPlan,
+    /// The pessimizer's worst feasible plan.
+    pub worst: FrequencyPlan,
+    /// Gain CDF of the best plan.
+    pub best_cdf: Ecdf,
+    /// Gain CDF of the worst plan.
+    pub worst_cdf: Ecdf,
+}
+
+/// Runs a [`ScenarioKind::GainCdf`] scenario: optimize + pessimize with
+/// the scenario's plan seed, then Monte-Carlo both CDFs with the
+/// scenario's trial seed.
+pub fn gain_cdf_experiment(s: &Scenario, quick: bool) -> GainCdfResult {
+    let ScenarioKind::GainCdf {
+        freqsel,
+        plan_seed,
+        cdf_grid,
+    } = &s.kind
+    else {
+        panic!(
+            "gain_cdf_experiment needs a 'gain_cdf' scenario, got '{}'",
+            s.kind.type_name()
+        )
+    };
+    let cfg = freqsel.resolve(quick);
+    let best = optimize(&cfg, *plan_seed);
+    let worst = pessimize(&cfg, *plan_seed);
+    let trials = s.trial_count(quick);
+    let grid = cdf_grid.get(quick);
+    let best_cdf = peak_gain_cdf(&best.offsets_hz, trials, grid, s.seed);
+    let worst_cdf = peak_gain_cdf(&worst.offsets_hz, trials, grid, s.seed);
+    GainCdfResult {
+        best,
+        worst,
+        best_cdf,
+        worst_cdf,
+    }
+}
+
 // ---------------------------------------------------------------------
 // Fig. 9 — peak power gain vs number of antennas (nominal power budget).
 // ---------------------------------------------------------------------
@@ -99,13 +148,20 @@ pub struct GainVsAntennas {
     pub gain: Summary,
 }
 
-/// Reproduces Fig. 9: gain vs antennas, 1..=n_max, `trials` per point.
-pub fn gain_vs_antennas(n_max: usize, trials: usize, seed: u64) -> Vec<GainVsAntennas> {
-    gain_vs_antennas_threads(n_max, trials, seed, par::num_threads())
+/// Runs a [`ScenarioKind::GainVsAntennas`] scenario: gain vs antennas,
+/// `1..=n_max`, the scenario's trial count per point.
+pub fn gain_vs_antennas(s: &Scenario, quick: bool) -> Vec<GainVsAntennas> {
+    let ScenarioKind::GainVsAntennas { n_max } = s.kind else {
+        panic!(
+            "gain_vs_antennas needs a 'gain_vs_antennas' scenario, got '{}'",
+            s.kind.type_name()
+        )
+    };
+    gain_vs_antennas_threads(n_max, s.trial_count(quick), s.seed, par::num_threads())
 }
 
-/// [`gain_vs_antennas`] with an explicit worker-thread count; the result
-/// is independent of `threads`.
+/// Positional kernel behind [`gain_vs_antennas`] with an explicit
+/// worker-thread count; the result is independent of `threads`.
 pub fn gain_vs_antennas_threads(
     n_max: usize,
     trials: usize,
@@ -145,20 +201,38 @@ pub struct GainAtParameter {
     pub gain: Summary,
 }
 
-/// Fig. 10a: 10-antenna gain vs depth in water. The gain is the ratio of
-/// CIB's peak power to the single-antenna power *at the same location*,
-/// so the medium attenuation cancels and the result is flat (§6.1.1b).
-pub fn gain_vs_depth(depths_m: &[f64], trials: usize, seed: u64) -> Vec<GainAtParameter> {
-    let cfg = CibConfig::paper_prototype();
-    let tag = TagSpec::standard();
-    let eirp = dbm_to_watts(PAPER_EIRP_DBM);
+fn stability_kind(s: &Scenario) -> (&[f64], &[f64]) {
+    let ScenarioKind::GainStability {
+        depths_m,
+        orientations_rad,
+    } = &s.kind
+    else {
+        panic!(
+            "gain stability needs a 'gain_stability' scenario, got '{}'",
+            s.kind.type_name()
+        )
+    };
+    (depths_m, orientations_rad)
+}
+
+/// Fig. 10a: gain vs depth in water for a [`ScenarioKind::GainStability`]
+/// scenario. The gain is the ratio of CIB's peak power to the
+/// single-antenna power *at the same location*, so the medium attenuation
+/// cancels and the result is flat (§6.1.1b).
+pub fn gain_vs_depth(s: &Scenario, quick: bool) -> Vec<GainAtParameter> {
+    let (depths_m, _) = stability_kind(s);
+    let cfg = s.cib(quick);
+    let n = s.array.n_antennas;
+    let tag = s.tag.spec();
+    let eirp = dbm_to_watts(s.eirp_dbm);
+    let trials = s.trial_count(quick);
     depths_m
         .iter()
         .enumerate()
         .map(|(di, &d)| {
             let placement = Placement::water_tank(d);
-            let gains = par::ensemble(trials, seed.wrapping_add(di as u64 * 977), |rng, _| {
-                let trial = placement.draw_trial(rng, 10, &tag, eirp, cfg.carrier_hz);
+            let gains = par::ensemble(trials, s.seed.wrapping_add(di as u64 * 977), |rng, _| {
+                let trial = placement.draw_trial(rng, n, &tag, eirp, cfg.carrier_hz);
                 let single = trial.channels[0].norm_sqr();
                 cfg.received_peak_power(&trial.channels) / single
             });
@@ -170,22 +244,24 @@ pub fn gain_vs_depth(depths_m: &[f64], trials: usize, seed: u64) -> Vec<GainAtPa
         .collect()
 }
 
-/// Fig. 10b: 10-antenna gain vs receive-antenna orientation. Orientation
-/// scales every antenna's channel equally, so the gain is flat.
-pub fn gain_vs_orientation(
-    orientations_rad: &[f64],
-    trials: usize,
-    seed: u64,
-) -> Vec<GainAtParameter> {
-    let cfg = CibConfig::paper_prototype();
-    let tag = TagSpec::standard();
+/// Fig. 10b: gain vs receive-antenna orientation for the same scenario
+/// (seed stream `seed + 1` so the two panels draw independently).
+/// Orientation scales every antenna's channel equally, so the gain is
+/// flat.
+pub fn gain_vs_orientation(s: &Scenario, quick: bool) -> Vec<GainAtParameter> {
+    let (_, orientations_rad) = stability_kind(s);
+    let cfg = s.cib(quick);
+    let n = s.array.n_antennas;
+    let tag = s.tag.spec();
+    let trials = s.trial_count(quick);
+    let seed = s.seed.wrapping_add(1);
     orientations_rad
         .iter()
         .enumerate()
         .map(|(oi, &theta)| {
             let orient = tag.antenna.orientation_factor(theta);
             let gains = par::ensemble(trials, seed.wrapping_add(oi as u64 * 7919), |rng, _| {
-                let channels: Vec<Complex64> = blind_channels(rng, 10)
+                let channels: Vec<Complex64> = blind_channels(rng, n)
                     .into_iter()
                     .map(|c| c * orient.sqrt())
                     .collect();
@@ -215,13 +291,22 @@ pub struct MediaGain {
     pub baseline: Summary,
 }
 
-/// Reproduces Fig. 11 over the paper's seven media.
-pub fn gain_across_media(trials: usize, seed: u64) -> Vec<MediaGain> {
+/// Runs a [`ScenarioKind::MediaGain`] scenario over the paper's seven
+/// media.
+pub fn gain_across_media(s: &Scenario, quick: bool) -> Vec<MediaGain> {
+    assert!(
+        matches!(s.kind, ScenarioKind::MediaGain),
+        "gain_across_media needs a 'media_gain' scenario, got '{}'",
+        s.kind.type_name()
+    );
+    let trials = s.trial_count(quick);
     let _span = ivn_runtime::span!("experiment.gain_across_media_ns");
     ivn_runtime::obs_count!("experiment.trials", trials * 7);
-    let cfg = CibConfig::paper_prototype();
-    let cib = CibBeamformer { config: cfg };
-    let baseline = BlindCoherent { n: 10 };
+    let n = s.array.n_antennas;
+    let cib = CibBeamformer {
+        config: s.cib(quick),
+    };
+    let baseline = BlindCoherent { n };
     Medium::figure11_media()
         .into_iter()
         .enumerate()
@@ -232,8 +317,8 @@ pub fn gain_across_media(trials: usize, seed: u64) -> Vec<MediaGain> {
             // This is the paper's Fig. 11 point: the gain is
             // medium-independent. Small-scale Rician fading supplies
             // the per-antenna amplitude spread of a real room.
-            let pairs = par::ensemble(trials, seed.wrapping_add(mi as u64 * 104729), |rng, _| {
-                let channels = faded_channels(rng, 10, LAB_RICIAN_K);
+            let pairs = par::ensemble(trials, s.seed.wrapping_add(mi as u64 * 104729), |rng, _| {
+                let channels = faded_channels(rng, n, LAB_RICIAN_K);
                 let single = channels[0].norm_sqr();
                 (
                     cib.peak_power(&channels) / single,
@@ -254,17 +339,24 @@ pub fn gain_across_media(trials: usize, seed: u64) -> Vec<MediaGain> {
 // Fig. 12 — CDF of the CIB / baseline power ratio per location.
 // ---------------------------------------------------------------------
 
-/// Reproduces Fig. 12: the per-location ratio of CIB peak power to the
-/// blind 10-antenna baseline's power, as an ECDF.
-pub fn cib_vs_baseline_cdf(trials: usize, seed: u64) -> Ecdf {
+/// Runs a [`ScenarioKind::RatioCdf`] scenario: the per-location ratio of
+/// CIB peak power to the blind baseline's power, as an ECDF.
+pub fn cib_vs_baseline_cdf(s: &Scenario, quick: bool) -> Ecdf {
+    assert!(
+        matches!(s.kind, ScenarioKind::RatioCdf),
+        "cib_vs_baseline_cdf needs a 'ratio_cdf' scenario, got '{}'",
+        s.kind.type_name()
+    );
+    let trials = s.trial_count(quick);
     let _span = ivn_runtime::span!("experiment.cib_vs_baseline_ns");
     ivn_runtime::obs_count!("experiment.trials", trials);
+    let n = s.array.n_antennas;
     let cib = CibBeamformer {
-        config: CibConfig::paper_prototype(),
+        config: s.cib(quick),
     };
-    let baseline = BlindCoherent { n: 10 };
-    let ratios = par::ensemble(trials, seed, |rng, _| {
-        let channels = faded_channels(rng, 10, LAB_RICIAN_K);
+    let baseline = BlindCoherent { n };
+    let ratios = par::ensemble(trials, s.seed, |rng, _| {
+        let channels = faded_channels(rng, n, LAB_RICIAN_K);
         cib.peak_power(&channels) / baseline.peak_power(&channels).max(1e-12)
     });
     Ecdf::new(ratios)
@@ -314,12 +406,31 @@ pub enum RangeEnvironment {
     Water,
 }
 
-/// Reproduces one Fig. 13 panel: max range vs antennas for a tag.
-pub fn range_vs_antennas(
+/// Runs a [`ScenarioKind::Range`] scenario: max range vs antennas for the
+/// scenario's tag, in air for a free-space placement and water depth for
+/// everything else.
+pub fn range_vs_antennas(s: &Scenario, quick: bool) -> Vec<RangePoint> {
+    let ScenarioKind::Range { n_max } = &s.kind else {
+        panic!(
+            "range_vs_antennas needs a 'range' scenario, got '{}'",
+            s.kind.type_name()
+        )
+    };
+    let env = match s.placement {
+        PlacementSpec::FreeSpace { .. } => RangeEnvironment::Air,
+        _ => RangeEnvironment::Water,
+    };
+    range_vs_antennas_env(env, s.tag.spec(), n_max.get(quick), s.seed, s.eirp_dbm)
+}
+
+/// Positional kernel behind [`range_vs_antennas`]: one panel's bisection
+/// sweep over antenna counts.
+pub fn range_vs_antennas_env(
     env: RangeEnvironment,
     tag: TagSpec,
     n_max: usize,
     seed: u64,
+    eirp_dbm: f64,
 ) -> Vec<RangePoint> {
     let _span = ivn_runtime::span!("experiment.range_vs_antennas_ns");
     ivn_runtime::obs_count!("experiment.rounds", n_max);
@@ -327,7 +438,9 @@ pub fn range_vs_antennas(
     // seed, so the sweep parallelizes over `n` rather than over trials.
     let ns: Vec<usize> = (1..=n_max).collect();
     par::par_map(&ns, |_, &n| {
-        let sys = IvnSystem::new(SystemConfig::paper_prototype(n, tag.clone()));
+        let mut config = SystemConfig::paper_prototype(n, tag.clone());
+        config.eirp_dbm = eirp_dbm;
+        let sys = IvnSystem::new(config);
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(n as u64 * 31));
         let range_m = match env {
             RangeEnvironment::Air => sys.max_range_air(&mut rng, 0.05, 80.0, 2),
@@ -356,10 +469,16 @@ pub struct InVivoRow {
     pub median_correlation: f64,
 }
 
-/// Reproduces the §6.2 swine campaign: gastric and subcutaneous
-/// placements × standard and miniature tags, `trials` placements each
-/// with 8 antennas.
-pub fn in_vivo_campaign(trials: usize, seed: u64) -> Vec<InVivoRow> {
+/// Runs a [`ScenarioKind::InVivo`] scenario — the §6.2 swine campaign:
+/// gastric and subcutaneous placements × standard and miniature tags,
+/// the scenario's trial count per cell with its antenna array.
+pub fn in_vivo_campaign(s: &Scenario, quick: bool) -> Vec<InVivoRow> {
+    assert!(
+        matches!(s.kind, ScenarioKind::InVivo),
+        "in_vivo_campaign needs an 'in_vivo' scenario, got '{}'",
+        s.kind.type_name()
+    );
+    let trials = s.trial_count(quick);
     let _span = ivn_runtime::span!("experiment.in_vivo_campaign_ns");
     ivn_runtime::obs_count!("experiment.trials", trials * 4);
     ivn_runtime::obs_count!("experiment.rounds", 4);
@@ -368,10 +487,12 @@ pub fn in_vivo_campaign(trials: usize, seed: u64) -> Vec<InVivoRow> {
     let mut rows = Vec::new();
     for (pi, placement) in placements.iter().enumerate() {
         for (ti, tag) in tags.iter().enumerate() {
-            let sys = IvnSystem::new(SystemConfig::paper_prototype(8, tag.clone()));
+            let mut config = SystemConfig::paper_prototype(s.array.n_antennas, tag.clone());
+            config.eirp_dbm = s.eirp_dbm;
+            let sys = IvnSystem::new(config);
             let outcomes = par::ensemble(
                 trials,
-                seed.wrapping_add((pi * 2 + ti) as u64 * 65537),
+                s.seed.wrapping_add((pi * 2 + ti) as u64 * 65537),
                 |rng, _| {
                     let out = sys.run_session(rng, placement);
                     (out.success(), out.correlation)
@@ -416,10 +537,18 @@ pub fn cib_mrt_efficiency(n: usize, trials: usize, seed: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::{builtin, QuickFull};
+
+    fn scenario(name: &str, trials: usize, seed: u64) -> Scenario {
+        let mut s = builtin(name).expect("builtin");
+        s.trials = QuickFull::same(trials);
+        s.seed = seed;
+        s
+    }
 
     #[test]
     fn fig9_gain_scales_with_antennas() {
-        let rows = gain_vs_antennas(10, 100, 1);
+        let rows = gain_vs_antennas(&scenario("fig9", 100, 1), true);
         assert_eq!(rows.len(), 10);
         // Monotone (with Monte-Carlo slack) increase in the median.
         for w in rows.windows(2) {
@@ -432,9 +561,10 @@ mod tests {
             );
         }
         // Paper anchors: median ≈ 55× at 8 antennas; gains "as high as
-        // 85×" at 10 (upper percentile).
-        let g10 = rows[9].gain;
-        let g8 = rows[7].gain;
+        // 85×" at 10 (upper percentile). Rows are looked up by antenna
+        // count, not position.
+        let g10 = rows.iter().find(|r| r.n == 10).unwrap().gain;
+        let g8 = rows.iter().find(|r| r.n == 8).unwrap().gain;
         assert!(g10.median > 50.0 && g10.median <= 100.0, "g10 {g10}");
         assert!(g10.p90 > 80.0, "g10 p90 {}", g10.p90);
         assert!(g8.median > 35.0 && g8.median <= 70.0, "g8 {g8}");
@@ -443,7 +573,12 @@ mod tests {
 
     #[test]
     fn fig10_gain_flat_in_depth_and_orientation() {
-        let rows = gain_vs_depth(&[0.0, 0.05, 0.10, 0.15, 0.20], 40, 2);
+        let mut s = scenario("fig10", 40, 2);
+        s.kind = ScenarioKind::GainStability {
+            depths_m: vec![0.0, 0.05, 0.10, 0.15, 0.20],
+            orientations_rad: vec![0.0, 0.8, 1.6, 2.4, 3.1],
+        };
+        let rows = gain_vs_depth(&s, true);
         let medians: Vec<f64> = rows.iter().map(|r| r.gain.median).collect();
         let spread = medians.iter().cloned().fold(f64::MIN, f64::max)
             - medians.iter().cloned().fold(f64::MAX, f64::min);
@@ -452,7 +587,7 @@ mod tests {
             assert!(*m > 45.0 && *m <= 100.0, "median {m}");
         }
 
-        let rows = gain_vs_orientation(&[0.0, 0.8, 1.6, 2.4, 3.1], 40, 3);
+        let rows = gain_vs_orientation(&s, true);
         let medians: Vec<f64> = rows.iter().map(|r| r.gain.median).collect();
         let spread = medians.iter().cloned().fold(f64::MIN, f64::max)
             - medians.iter().cloned().fold(f64::MAX, f64::min);
@@ -461,7 +596,7 @@ mod tests {
 
     #[test]
     fn fig11_cib_beats_baseline_everywhere() {
-        let rows = gain_across_media(80, 4);
+        let rows = gain_across_media(&scenario("fig11", 80, 4), true);
         assert_eq!(rows.len(), 7);
         for row in &rows {
             assert!(
@@ -488,7 +623,7 @@ mod tests {
 
     #[test]
     fn fig12_ratio_cdf_shape() {
-        let cdf = cib_vs_baseline_cdf(400, 5);
+        let cdf = cib_vs_baseline_cdf(&scenario("fig12", 400, 5), true);
         // CIB wins ≥99 % of locations.
         assert!(cdf.eval(1.0) < 0.01, "losses {}", cdf.eval(1.0));
         // Median ratio around 8-12×.
@@ -510,6 +645,20 @@ mod tests {
         );
         // Worst: most trials below that.
         assert!(worst.quantile(0.5).unwrap() < best.quantile(0.5).unwrap());
+    }
+
+    #[test]
+    fn fig6_scenario_experiment_matches_kernels() {
+        let s = builtin("fig6").unwrap();
+        let r = gain_cdf_experiment(&s, true);
+        assert_eq!(r.best_cdf.len(), 200);
+        assert!(
+            r.best_cdf.quantile(0.5).unwrap() > r.worst_cdf.quantile(0.5).unwrap(),
+            "best should dominate worst"
+        );
+        // The experiment is exactly the positional kernels composed.
+        let direct = peak_gain_cdf(&r.best.offsets_hz, 200, 1024, s.seed);
+        assert_eq!(direct, r.best_cdf);
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! * [`system`] — [`system::IvnSystem`]: SDR bank + channels + harvester +
 //!   tag + reader, sample-level sessions and range search;
 //! * [`experiment`] — seeded trial runners that produce the statistics
-//!   each paper figure reports.
+//!   each paper figure reports;
+//! * [`scenario`] — the declarative configuration substrate: JSON-backed
+//!   [`scenario::Scenario`] descriptions every experiment entry point
+//!   consumes, a built-in registry for the paper's figures, a
+//!   sweep/jitter generator, and the uniform campaign evaluator.
 
 pub mod baselines;
 pub mod body;
@@ -31,6 +35,7 @@ pub mod hopping;
 pub mod kernels;
 pub mod multisensor;
 pub mod oob;
+pub mod scenario;
 pub mod system;
 pub mod twostage;
 pub mod waveform;

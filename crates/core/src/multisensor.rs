@@ -11,6 +11,7 @@
 
 use crate::body::{Placement, TagSpec};
 use crate::cib::CibConfig;
+use crate::scenario::{Scenario, ScenarioKind};
 use crate::waveform::eq9_rms_bound;
 use ivn_dsp::units::dbm_to_watts;
 use ivn_rfid::commands::Command;
@@ -57,6 +58,65 @@ pub fn select_rms_budget(link: &LinkParams, mask_bits: usize, alpha: f64) -> f64
     // Select and Query ride the same envelope peak back to back.
     let dt = link.command_duration_s(&select) + link.command_duration_s(&query);
     eq9_rms_bound(alpha, dt)
+}
+
+/// EPC base for scenario-declared populations; sensor `i` gets `base+i`.
+const SCENARIO_EPC_BASE: u128 = 0x3005_0000_0000_0000_0000_0000;
+
+/// The sensor population a [`ScenarioKind::MultiSensor`] scenario
+/// declares: `population` copies of the scenario's tag, spread
+/// `spacing_m` apart along the placement's geometry axis.
+pub fn scenario_deployment(s: &Scenario) -> Result<Vec<SensorDeployment>, String> {
+    let ScenarioKind::MultiSensor {
+        population,
+        spacing_m,
+        ..
+    } = s.kind
+    else {
+        return Err(format!(
+            "scenario '{}' is not multi_sensor (kind '{}')",
+            s.name,
+            s.kind.type_name()
+        ));
+    };
+    let spec = s.tag.spec();
+    (0..population.max(1))
+        .map(|i| {
+            Ok(SensorDeployment {
+                epc: SCENARIO_EPC_BASE + i as u128,
+                spec: spec.clone(),
+                placement: s
+                    .placement
+                    .at_offset(i as f64 * spacing_m)
+                    .resolve()
+                    .map_err(|e| e.reason)?,
+            })
+        })
+        .collect()
+}
+
+/// Runs one multi-sensor campaign for a scenario: its population, array
+/// and EIRP, with the scenario's `max_rounds` arbitration budget.
+pub fn run_scenario<R: Rng + ?Sized>(
+    rng: &mut R,
+    s: &Scenario,
+    quick: bool,
+) -> Result<Vec<SensorOutcome>, String> {
+    let ScenarioKind::MultiSensor { max_rounds, .. } = s.kind else {
+        return Err(format!(
+            "scenario '{}' is not multi_sensor (kind '{}')",
+            s.name,
+            s.kind.type_name()
+        ));
+    };
+    let sensors = scenario_deployment(s)?;
+    Ok(run_campaign(
+        rng,
+        &s.cib(quick),
+        s.eirp_dbm,
+        &sensors,
+        max_rounds,
+    ))
 }
 
 /// Runs one multi-sensor campaign: powers the population with CIB,

@@ -148,4 +148,54 @@ grep -q '"streaming"' BENCH_runtime.json && grep -q '"msps"' BENCH_runtime.json 
     exit 1
 }
 
+echo "==> scenario export: byte-identical JSON round-trip"
+SCN_DIR=target/verify_scenarios
+mkdir -p "$SCN_DIR"
+for name in fig6 fig9 fig13 invivo session multisensor; do
+    cargo run --release --offline -p ivn-bench --bin reproduce -- export "$name" --out "$SCN_DIR/$name.json" 2> /dev/null
+    cargo run --release --offline -p ivn-bench --bin reproduce -- --scenario "$SCN_DIR/$name.json" --quick > /dev/null
+done
+# export → run through a file → re-export must not change a byte; the
+# scenario_golden suite pins parse→dump stability, this pins the CLI path.
+cargo run --release --offline -p ivn-bench --bin reproduce -- export session --out "$SCN_DIR/session2.json" 2> /dev/null
+cmp "$SCN_DIR/session.json" "$SCN_DIR/session2.json" || {
+    echo "verify: FAIL — scenario export is not byte-stable" >&2
+    exit 1
+}
+echo "scenario export round-trip OK"
+
+echo "==> built-in scenarios reproduce the legacy figure bytes"
+# Cheap targets only here (the full 13-target pin runs in scenario_golden):
+# the registry path through `reproduce <target>` must match the golden files.
+for target in fig2 fig4 fig9 fig11 invivo; do
+    cargo run --release --offline -p ivn-bench --bin reproduce -- "$target" --quick > "target/verify_$target.txt"
+    cmp "target/verify_$target.txt" "tests/golden/figures/$target.quick.txt" || {
+        echo "verify: FAIL — reproduce $target --quick diverged from tests/golden/figures/$target.quick.txt" >&2
+        exit 1
+    }
+done
+echo "figure bytes match golden files"
+
+echo "==> 25-scenario generated campaign smoke run"
+FLEET_DIR=target/verify_fleet
+rm -rf "$FLEET_DIR"
+cargo run --release --offline -p ivn-bench --bin reproduce -- generate --out "$FLEET_DIR" --base session --count 25 --seed 7 \
+    --sweep placement.depth_m=0.02,0.05,0.08 --jitter eirp_dbm=0.05
+cargo run --release --offline -p ivn-bench --bin reproduce -- campaign "$FLEET_DIR" --quick --threads 2 --out target/verify_campaign.json
+grep -q '"evaluated":25' target/verify_campaign.json || {
+    echo "verify: FAIL — campaign report did not evaluate all 25 scenarios" >&2
+    exit 1
+}
+grep -q '"errors":0' target/verify_campaign.json || {
+    echo "verify: FAIL — campaign reported scenario errors" >&2
+    exit 1
+}
+echo "campaign smoke run OK (25 scenarios)"
+
+echo "==> BENCH_runtime.json records campaign throughput"
+grep -q '"campaign"' BENCH_runtime.json && grep -q '"scenarios_per_sec"' BENCH_runtime.json || {
+    echo "verify: FAIL — campaign throughput missing from BENCH_runtime.json" >&2
+    exit 1
+}
+
 echo "verify: OK"
