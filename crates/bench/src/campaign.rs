@@ -1,15 +1,16 @@
 //! The mass-campaign driver: feed a directory of scenario files through
 //! the worker pool and aggregate the per-scenario metrics.
 //!
-//! Scenarios are loaded in filename order and evaluated with the
-//! order-preserving [`par::par_map_threads`] pool, so the campaign's
+//! Scenarios are loaded in filename order and evaluated on the
+//! persistent order-preserving [`WorkerPool`], so the campaign's
 //! aggregate is bit-identical at any thread count — each scenario's
-//! trials draw from its own seed, never from a shared stream.
+//! trials draw from its own seed, never from a shared stream — and a
+//! mass campaign's thousands of dispatches pay no per-call spawn cost.
 
 use ivn_core::scenario::{evaluate, Scenario, ScenarioMetrics};
 use ivn_dsp::stats::{Ecdf, Summary};
 use ivn_runtime::json::{Json, ToJson};
-use ivn_runtime::par;
+use ivn_runtime::pool::WorkerPool;
 use std::path::Path;
 
 /// One campaign run: per-scenario outcomes in load order.
@@ -45,8 +46,11 @@ pub fn load_dir(dir: &Path) -> Result<Vec<Scenario>, String> {
 /// Runs every scenario on `threads` workers. Deterministic: the result
 /// depends only on the scenario list and the run mode.
 pub fn run(scenarios: &[Scenario], quick: bool, threads: usize) -> CampaignOutcome {
-    let results = par::par_map_threads(threads, scenarios, |_, s| {
-        (s.name.clone(), evaluate(s, quick))
+    // Pool jobs must own their data, so scenarios are cloned in; the
+    // clone is parsing-scale cheap next to a scenario evaluation.
+    let owned: Vec<Scenario> = scenarios.to_vec();
+    let results = WorkerPool::global().map_move(owned, threads, move |_, s| {
+        (s.name.clone(), evaluate(&s, quick))
     });
     let mut metrics = Vec::with_capacity(results.len());
     let mut errors = Vec::new();

@@ -84,8 +84,13 @@ pub fn peak_gain_cdf_threads(
         carrier_hz: crate::BEAMFORMER_CARRIER_HZ,
         grid,
     };
-    let samples = par::ensemble_threads(threads, trials, seed, |rng, _| {
-        cfg.received_peak_power(&blind_channels(rng, offsets_hz.len()))
+    let n = offsets_hz.len();
+    // Dispatched on the persistent pool: the sweep is issued per figure
+    // row and per campaign scenario, so spawn amortization matters. The
+    // closure owns its config (`move`) — the pool's workers outlive this
+    // stack frame.
+    let samples = par::ensemble_pool(threads, trials, seed, move |rng, _| {
+        cfg.received_peak_power(&blind_channels(rng, n))
     });
     Ecdf::new(samples)
 }
@@ -175,11 +180,15 @@ pub fn gain_vs_antennas_threads(
     (1..=n_max)
         .map(|n| {
             let cfg = CibConfig::paper_prototype_n(n);
-            let gains =
-                par::ensemble_threads(threads, trials, seed.wrapping_add(n as u64), |rng, _| {
+            let gains = par::ensemble_pool(
+                threads,
+                trials,
+                seed.wrapping_add(n as u64),
+                move |rng, _| {
                     let ch = faded_channels(rng, n, LAB_RICIAN_K);
                     cfg.received_peak_power(&ch) / ch[0].norm_sqr()
-                });
+                },
+            );
             GainVsAntennas {
                 n,
                 gain: Summary::of(&gains).expect("non-empty"),

@@ -37,6 +37,7 @@ pub mod modulation;
 pub mod noise;
 pub mod osc;
 pub mod resample;
+pub mod rotor;
 pub mod stats;
 pub mod units;
 pub mod window;

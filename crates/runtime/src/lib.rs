@@ -12,6 +12,10 @@
 //!   `std::thread::scope`, plus [`par::ensemble`] which runs Monte-Carlo
 //!   trials in parallel with per-trial forked RNG streams so results are
 //!   bit-identical at any thread count.
+//! * [`pool`] — a persistent work-stealing [`pool::WorkerPool`] (parked
+//!   workers, per-worker deques, deterministic chunking) that amortizes
+//!   thread spawn for the short dispatches issued by the streaming
+//!   sample path, the campaign driver, and the Monte-Carlo sweeps.
 //! * [`json`] — a minimal JSON value, emitter and parser for
 //!   machine-readable figure output from the bench harness.
 //! * [`prop`] — a seeded, shrink-free property-test harness (the
@@ -35,6 +39,7 @@ pub mod bench;
 pub mod json;
 pub mod obs;
 pub mod par;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 pub mod trace;

@@ -1,0 +1,415 @@
+//! A persistent work-stealing worker pool for coarse-grained parallelism.
+//!
+//! [`par::par_map_threads`](crate::par::par_map_threads) spawns fresh OS
+//! threads on every call — fine for second-long Monte-Carlo sweeps, pure
+//! overhead for the millisecond-scale dispatches the streaming sample
+//! path and the campaign driver issue thousands of times per run
+//! (BENCH_runtime.json before this module: 8-thread `parallel_sweep` at
+//! 0.38–0.92x). [`WorkerPool`] fixes the constant factor:
+//!
+//! * **Persistent workers.** Threads are spawned once (lazily, via
+//!   [`WorkerPool::global`]) and parked on a condvar between calls, so a
+//!   dispatch costs a queue push + wakeup instead of `thread::spawn`.
+//! * **Chunked work-stealing.** Work is split into contiguous index
+//!   chunks sized by [`chunk_size`] (≈4 chunks per worker, so uneven
+//!   chunk costs still load-balance). Each chunk is pushed to a
+//!   per-worker deque; idle workers pop their own queue from the front
+//!   and steal from other queues' backs.
+//! * **Determinism by construction.** Chunk boundaries depend only on
+//!   `(len, width)`, every chunk is tagged with its start index, and the
+//!   caller reassembles results in index order — so the output is
+//!   byte-identical no matter which worker ran which chunk or in what
+//!   order (pinned by `tests/pool_props.rs`).
+//!
+//! The workspace denies `unsafe`, so unlike rayon the pool cannot smuggle
+//! borrowed closures across threads: jobs must be `'static` and own their
+//! data ([`WorkerPool::map_move`] moves items through the pool and back).
+//! Call sites that only have borrowed data either clone it (campaign
+//! scenarios), move it (BankStreamer lane slots), or keep using the
+//! scoped spawning path in [`par`](crate::par).
+//!
+//! Nested dispatches from inside a pool worker run inline on that worker
+//! (a thread-local flag), so a pooled task may itself call pooled code
+//! without deadlocking on the pool's own capacity. Callers *help*: while
+//! waiting for results they execute queued chunks themselves, so a
+//! dispatch never pays a context switch per chunk and the caller thread
+//! counts as an extra executor.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// True when the current thread is one of the pool's workers. Nested
+/// pool calls detect this and run inline to avoid self-deadlock.
+pub fn on_pool_worker() -> bool {
+    IS_POOL_WORKER.with(|f| f.get())
+}
+
+/// Chunk length used to split `n` items across a dispatch of `width`
+/// logical workers: ~4 chunks per worker, never zero. Depends only on
+/// the two arguments, which is what makes pooled maps deterministic.
+pub fn chunk_size(n: usize, width: usize) -> usize {
+    n.div_ceil(width.max(1) * 4).max(1)
+}
+
+struct Shared {
+    /// One job deque per worker; owners pop the front, thieves the back.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs pushed but not yet grabbed (not: not yet finished).
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Guards the sleep/wake handshake only — holds no data.
+    gate: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Shared {
+    /// Takes one job: own queue front first, then steal from the back of
+    /// the other queues, nearest first.
+    fn grab(&self, home: usize) -> Option<Job> {
+        let k = self.queues.len();
+        for off in 0..k {
+            let qi = (home + off) % k;
+            let mut q = self.queues[qi].lock().unwrap();
+            let job = if off == 0 {
+                q.pop_front()
+            } else {
+                q.pop_back()
+            };
+            if let Some(job) = job {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(shared: &Shared, home: usize) {
+    IS_POOL_WORKER.with(|f| f.set(true));
+    loop {
+        while let Some(job) = shared.grab(home) {
+            // Jobs built by map_* catch their own panics; this outer
+            // catch only keeps the worker alive if a raw job leaks one.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        }
+        let mut guard = shared.gate.lock().unwrap();
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if shared.pending.load(Ordering::Acquire) > 0 {
+                break;
+            }
+            guard = shared.cv.wait(guard).unwrap();
+        }
+    }
+}
+
+/// A fixed-size pool of parked worker threads with per-worker deques and
+/// work stealing. See the module docs for the design rationale.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Round-robin cursor for spreading submitted chunks across queues.
+    next_queue: AtomicUsize,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|home| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ivn-pool-{home}"))
+                    .spawn(move || worker_loop(&shared, home))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: handles,
+            next_queue: AtomicUsize::new(0),
+        }
+    }
+
+    /// The process-wide pool, created on first use with
+    /// [`num_threads`](crate::par::num_threads) workers.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkerPool::new(crate::par::num_threads()))
+    }
+
+    /// Number of worker threads in this pool.
+    pub fn workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Enqueues owned jobs round-robin across the worker deques and wakes
+    /// the workers.
+    fn submit(&self, jobs: Vec<Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let k = self.shared.queues.len();
+        let many = jobs.len() > 1;
+        for job in jobs {
+            let qi = self.next_queue.fetch_add(1, Ordering::Relaxed) % k;
+            self.shared.pending.fetch_add(1, Ordering::AcqRel);
+            self.shared.queues[qi].lock().unwrap().push_back(job);
+        }
+        // Lock-then-notify so a worker between its pending check and its
+        // wait cannot miss the wakeup.
+        drop(self.shared.gate.lock().unwrap());
+        if many {
+            self.shared.cv.notify_all();
+        } else {
+            self.shared.cv.notify_one();
+        }
+    }
+
+    /// Maps `f` over indices `0..n` with chunked dispatch, returning
+    /// results in index order. `width` shapes the chunking exactly like a
+    /// thread count: `width <= 1` (or trivial input, or a nested call
+    /// from a pool worker) runs inline on the caller.
+    ///
+    /// # Panics
+    /// Re-raises the first (lowest-index-chunk) panic from any job.
+    pub fn map_indexed<U, F>(&self, n: usize, width: usize, f: F) -> Vec<U>
+    where
+        U: Send + 'static,
+        F: Fn(usize) -> U + Send + Sync + 'static,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if width <= 1 || n == 1 || on_pool_worker() {
+            return (0..n).map(f).collect();
+        }
+        let chunk = chunk_size(n, width);
+        let f = Arc::new(f);
+        let (tx, rx) = channel();
+        let mut jobs: Vec<Job> = Vec::with_capacity(n.div_ceil(chunk));
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            jobs.push(Box::new(move || {
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    (start..end).map(|i| f(i)).collect::<Vec<U>>()
+                }));
+                let _ = tx.send((start, r));
+            }));
+            start = end;
+        }
+        drop(tx);
+        let chunks = jobs.len();
+        self.submit(jobs);
+        let mut parts = self.collect_helping(chunks, &rx);
+        parts.sort_unstable_by_key(|(s, _)| *s);
+        let mut out = Vec::with_capacity(n);
+        for (_, r) in parts {
+            match r {
+                Ok(v) => out.extend(v),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        out
+    }
+
+    /// Moves `items` through the pool: each is passed by value to
+    /// `f(index, item)` and the outputs come back in input order. This is
+    /// the owned-data analogue of
+    /// [`par::par_map_threads`](crate::par::par_map_threads) — the shape
+    /// the no-`unsafe` rule forces on persistent-thread dispatch.
+    ///
+    /// # Panics
+    /// Re-raises the first (lowest-index-chunk) panic from any job.
+    pub fn map_move<T, U, F>(&self, items: Vec<T>, width: usize, f: F) -> Vec<U>
+    where
+        T: Send + 'static,
+        U: Send + 'static,
+        F: Fn(usize, T) -> U + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if width <= 1 || n == 1 || on_pool_worker() {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+        let chunk = chunk_size(n, width);
+        let f = Arc::new(f);
+        let (tx, rx) = channel();
+        let mut jobs: Vec<Job> = Vec::with_capacity(n.div_ceil(chunk));
+        let mut iter = items.into_iter();
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let batch: Vec<T> = iter.by_ref().take(end - start).collect();
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            jobs.push(Box::new(move || {
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    batch
+                        .into_iter()
+                        .enumerate()
+                        .map(|(j, t)| f(start + j, t))
+                        .collect::<Vec<U>>()
+                }));
+                let _ = tx.send((start, r));
+            }));
+            start = end;
+        }
+        drop(tx);
+        let chunks = jobs.len();
+        self.submit(jobs);
+        let mut parts = self.collect_helping(chunks, &rx);
+        parts.sort_unstable_by_key(|(s, _)| *s);
+        let mut out = Vec::with_capacity(n);
+        for (_, r) in parts {
+            match r {
+                Ok(v) => out.extend(v),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        out
+    }
+
+    /// Waits for `chunks` results while *helping*: as long as any queue
+    /// holds a job, the caller executes it instead of parking in
+    /// `recv()`. On a busy or single-core host this turns a dispatch
+    /// into mostly-inline execution (no context-switch per chunk), and
+    /// it makes nested dispatch deadlock-free even from non-pool
+    /// threads: a queued job can always be run by whoever is waiting
+    /// on it.
+    fn collect_helping<P>(&self, chunks: usize, rx: &std::sync::mpsc::Receiver<P>) -> Vec<P> {
+        let mut parts = Vec::with_capacity(chunks);
+        while parts.len() < chunks {
+            while let Ok(p) = rx.try_recv() {
+                parts.push(p);
+            }
+            if parts.len() >= chunks {
+                break;
+            }
+            if let Some(job) = self.shared.grab(0) {
+                // May be a chunk of an unrelated concurrent dispatch —
+                // executing it is still progress, and ours can only be
+                // taken by someone who will finish it.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            } else {
+                parts.push(rx.recv().expect("pool worker delivered result"));
+            }
+        }
+        parts
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        drop(self.shared.gate.lock().unwrap());
+        self.shared.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers())
+            .field("pending", &self.shared.pending.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let pool = WorkerPool::new(3);
+        for width in [1, 2, 3, 8] {
+            let out = pool.map_indexed(257, width, |i| i * 2);
+            assert_eq!(out, (0..257).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_move_round_trips_items() {
+        let pool = WorkerPool::new(2);
+        let items: Vec<String> = (0..40).map(|i| format!("x{i}")).collect();
+        let out = pool.map_move(items.clone(), 8, |i, s| format!("{i}:{s}"));
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(*s, format!("{i}:x{i}"));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_do_not_deadlock() {
+        let pool = WorkerPool::new(2);
+        let none: Vec<u32> = pool.map_indexed(0, 8, |i| i as u32);
+        assert!(none.is_empty());
+        assert_eq!(pool.map_indexed(1, 8, |i| i + 10), vec![10]);
+        assert_eq!(pool.map_move(vec![7u32], 8, |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let pool = WorkerPool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map_indexed(64, 8, |i| {
+                assert!(i != 33, "boom");
+                i
+            })
+        }));
+        assert!(r.is_err());
+        // Pool still usable after a panicked dispatch.
+        assert_eq!(pool.map_indexed(4, 2, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_dispatch_does_not_deadlock() {
+        // One worker + nested calls: workers inline nested dispatches
+        // and the caller helps execute queued jobs, so this cannot
+        // exhaust pool capacity no matter which thread runs a chunk.
+        let pool = Arc::new(WorkerPool::new(1));
+        let inner = Arc::clone(&pool);
+        let out = pool.map_indexed(4, 8, move |i| inner.map_indexed(3, 8, move |j| i * 10 + j));
+        assert_eq!(out[3], vec![30, 31, 32]);
+    }
+
+    #[test]
+    fn chunk_size_is_stable() {
+        assert_eq!(chunk_size(0, 8), 1);
+        assert_eq!(chunk_size(1, 8), 1);
+        assert_eq!(chunk_size(1_000_000, 8), 31_250);
+        assert_eq!(chunk_size(5, 0), 2);
+    }
+}

@@ -9,7 +9,6 @@ use crate::adc::Adc;
 use crate::pa::PowerAmp;
 use crate::pll::Pll;
 use ivn_dsp::buffer::IqBuffer;
-use ivn_dsp::complex::Complex64;
 use ivn_runtime::rng::Rng;
 
 /// A TX/RX software radio.
@@ -55,7 +54,7 @@ impl SdrDevice {
     /// RF (relative to the tuned carrier).
     pub fn transmit(&self, baseband: &IqBuffer, drive: f64) -> IqBuffer {
         assert!(drive >= 0.0, "drive must be non-negative");
-        let phase = Complex64::cis(self.pll.initial_phase());
+        let phase = self.pll.initial_phasor();
         let mut out = baseband.clone();
         for s in out.samples_mut() {
             *s = self.pa.process(*s * drive) * phase;
@@ -78,6 +77,7 @@ impl SdrDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ivn_dsp::complex::Complex64;
     use ivn_runtime::rng::StdRng;
 
     fn unit_tone(len: usize, fs: f64) -> IqBuffer {

@@ -59,9 +59,18 @@ impl PowerAmp {
 
     /// Processes one complex sample (phase preserved, amplitude
     /// compressed).
+    ///
+    /// Trig-free: instead of the polar round-trip
+    /// `from_polar(am_am(r), arg(x))` — an `atan2` plus a `sin`/`cos`
+    /// per sample — the sample is scaled by `am_am(r)/r`, which keeps
+    /// the phase *exactly* (both components multiply by the same
+    /// positive real) and costs only the `hypot` for `r`.
     pub fn process(&self, x: Complex64) -> Complex64 {
-        let (r, theta) = x.to_polar();
-        Complex64::from_polar(self.am_am(r), theta)
+        let r = x.norm();
+        if r == 0.0 {
+            return Complex64::ZERO;
+        }
+        x * (self.am_am(r) / r)
     }
 
     /// Processes a block in place.

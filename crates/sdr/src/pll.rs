@@ -9,6 +9,7 @@
 //!    ≈ kHz at integer-N settings): hertz-scale CIB offsets cannot be set
 //!    in hardware and must be soft-coded into the baseband samples.
 
+use ivn_dsp::complex::Complex64;
 use ivn_runtime::rng::Rng;
 use std::f64::consts::TAU;
 
@@ -78,6 +79,13 @@ impl Pll {
     /// to the system; exposed for tests and for the channel compositor.
     pub fn initial_phase(&self) -> f64 {
         self.phase
+    }
+
+    /// The latched initial phase as a unit phasor `e^{jθ}` — the factor
+    /// the emission path multiplies in, and the phase a
+    /// [`PhasorRotor`](ivn_dsp::rotor::PhasorRotor) starts from.
+    pub fn initial_phasor(&self) -> Complex64 {
+        Complex64::cis(self.phase)
     }
 
     /// Tuning error that would result from requesting `target_hz`

@@ -17,23 +17,49 @@
 //! [`BankStreamer`] runs one lane per device with a common latency, so
 //! every `push` yields the same number of aligned output samples on all
 //! lanes — exactly what the per-block superposition in `ivn-em` needs.
-//! Lane advancement is embarrassingly parallel (disjoint state) and
-//! runs on `ivn_runtime::par::par_for_each_mut_threads`; the output is
-//! bit-identical at any worker count.
+//! Lane advancement is embarrassingly parallel (disjoint state): slots
+//! are *moved* through the persistent `ivn_runtime::pool::WorkerPool`
+//! and reassembled in device order, so the output is bit-identical at
+//! any worker count.
+//!
+//! ## The trig-free hot loop
+//!
+//! The emission inner loop used to be the slowest stage of the whole
+//! sample path (~1.5 MS/s vs em's 130 MS/s): per output sample it paid
+//! a `sin_cos` in the oscillator and an `atan2` + `sin_cos` + two
+//! `powf` in the PA's polar round-trip. The lane now rides a
+//! [`PhasorRotor`] — the carrier phase and the soft offset fold into
+//! one lane-batched rotator with periodic exact resync — and the PA
+//! collapses to a memoized real gain: command profiles are long runs
+//! of constant amplitude (1.0 with 0.0 notches), so `am_am` is
+//! recomputed only when the profile level actually changes. No libm
+//! call survives on the per-sample path.
+//!
+//! The rotator output differs from the old scalar path only by the
+//! recurrence's bounded rounding (≤ 1e-12 per resync window);
+//! [`emit_oracle`] preserves the original trig formulation so tests can
+//! pin that distance (`tests/streaming_equivalence.rs`).
 
 use crate::bank::TxBank;
 use crate::pa::PowerAmp;
 use ivn_dsp::block::BlockStage;
 use ivn_dsp::complex::Complex64;
 use ivn_dsp::osc::Oscillator;
-use ivn_runtime::par;
+use ivn_dsp::rotor::PhasorRotor;
+use ivn_runtime::pool::WorkerPool;
+use std::sync::Arc;
 
-/// One device's streaming emitter: carries oscillator phase, trigger
+/// Per-lane scratch block length: bounds rotor scratch at O(block) even
+/// when a whole-buffer `emit` asks for one huge block.
+const SCRATCH_BLOCK: usize = 4096;
+
+/// One device's streaming emitter: carries rotator phase, trigger
 /// shift and profile history across block boundaries.
 #[derive(Debug, Clone)]
 pub struct EmitterLane {
-    osc: Oscillator,
-    carrier: Complex64,
+    /// Unit phasor source `e^{j(θ_pll + kΔ)}`: PLL phase and soft
+    /// offset in one trig-free rotator.
+    rotor: PhasorRotor,
     pa: PowerAmp,
     drive: f64,
     /// Trigger offset as a whole-sample profile shift (positive = the
@@ -49,6 +75,11 @@ pub struct EmitterLane {
     hist_start: usize,
     pushed: usize,
     next: usize,
+    /// Reusable rotor output scratch.
+    phasors: Vec<Complex64>,
+    /// Last profile amplitude seen / the PA gain computed for it.
+    memo_amp: f64,
+    memo_gain: f64,
 }
 
 impl EmitterLane {
@@ -57,8 +88,11 @@ impl EmitterLane {
         let dev = bank.device(i);
         let shift = (dev.trigger_offset_s * bank.sample_rate()).round() as i64;
         EmitterLane {
-            osc: Oscillator::new(bank.offsets_hz()[i], bank.sample_rate()),
-            carrier: Complex64::cis(dev.pll.initial_phase()),
+            rotor: PhasorRotor::new(
+                bank.offsets_hz()[i],
+                bank.sample_rate(),
+                dev.pll.initial_phase(),
+            ),
             pa: dev.pa,
             drive,
             shift,
@@ -68,6 +102,9 @@ impl EmitterLane {
             hist_start: 0,
             pushed: 0,
             next: 0,
+            phasors: Vec::new(),
+            memo_amp: f64::NAN,
+            memo_gain: 0.0,
         }
     }
 
@@ -92,6 +129,11 @@ impl EmitterLane {
     /// amplitudes from the history window. `total` is the final profile
     /// length once known (`flush`); indices outside `[0, total)` read
     /// as 1.0 — outside the command the carrier stays on.
+    ///
+    /// Hot path: the rotor fills a phasor scratch block (one complex
+    /// multiply per sample, auto-vectorized rows), and the PA reduces
+    /// to a real gain memoized on the profile level, so a run of equal
+    /// amplitudes costs one multiply per sample and zero libm calls.
     fn emit_samples(&mut self, count: usize, total: Option<usize>, out: &mut Vec<Complex64>) {
         if count == 0 {
             return;
@@ -99,23 +141,36 @@ impl EmitterLane {
         let _span = ivn_runtime::span!("sdr.emit_ns");
         ivn_runtime::obs_count!("sdr.emissions", 1);
         out.reserve(count);
-        for k in self.next..self.next + count {
-            let idx = k as i64 - self.shift;
-            let amp = if idx < 0 || total.is_some_and(|n| idx as usize >= n) {
-                // Outside the command: carrier stays on at full level.
-                1.0
-            } else {
-                let idx = idx as usize;
-                debug_assert!(
-                    idx >= self.hist_start && idx < self.hist_start + self.hist.len(),
-                    "profile index {idx} outside history window"
-                );
-                self.hist[idx - self.hist_start]
-            };
-            let s = self.osc.next_sample() * amp;
-            out.push(self.pa.process(s * self.drive) * self.carrier);
+        let end = self.next + count;
+        while self.next < end {
+            let take = SCRATCH_BLOCK.min(end - self.next);
+            self.phasors.clear();
+            self.phasors.resize(take, Complex64::ZERO);
+            self.rotor.fill(&mut self.phasors);
+            for j in 0..take {
+                let k = self.next + j;
+                let idx = k as i64 - self.shift;
+                let amp = if idx < 0 || total.is_some_and(|n| idx as usize >= n) {
+                    // Outside the command: carrier stays on at full level.
+                    1.0
+                } else {
+                    let idx = idx as usize;
+                    debug_assert!(
+                        idx >= self.hist_start && idx < self.hist_start + self.hist.len(),
+                        "profile index {idx} outside history window"
+                    );
+                    self.hist[idx - self.hist_start]
+                };
+                if amp.to_bits() != self.memo_amp.to_bits() {
+                    self.memo_amp = amp;
+                    let a = amp * self.drive;
+                    let g = self.pa.am_am(a.abs());
+                    self.memo_gain = if a.is_sign_negative() { -g } else { g };
+                }
+                out.push(self.phasors[j] * self.memo_gain);
+            }
+            self.next += take;
         }
-        self.next += count;
     }
 
     /// Drops history the emission point has moved past.
@@ -147,6 +202,37 @@ impl BlockStage for EmitterLane {
         self.emit_samples(count, Some(total), out);
         self.compact();
     }
+}
+
+/// The pre-rotor scalar emission path, kept as the trig oracle: one
+/// `sin_cos` per oscillator sample and the PA's polar round-trip
+/// (`atan2` + `sin_cos`), exactly as `TxBank::emit` computed before the
+/// lane went trig-free.
+///
+/// This is deliberately *not* the production path — it exists so the
+/// equivalence suite can bound the rotator path's distance from the
+/// textbook formulation (≤ 1e-9 of the emitted amplitude per sample;
+/// see `tests/streaming_equivalence.rs`) and so new goldens were pinned
+/// against something slower but independently derived.
+pub fn emit_oracle(bank: &TxBank, i: usize, profile: &[f64], drive: f64) -> Vec<Complex64> {
+    let dev = bank.device(i);
+    let shift = (dev.trigger_offset_s * bank.sample_rate()).round() as i64;
+    let mut osc = Oscillator::new(bank.offsets_hz()[i], bank.sample_rate());
+    let carrier = Complex64::cis(dev.pll.initial_phase());
+    let total = profile.len() as i64;
+    (0..profile.len())
+        .map(|k| {
+            let idx = k as i64 - shift;
+            let amp = if (0..total).contains(&idx) {
+                profile[idx as usize]
+            } else {
+                1.0
+            };
+            let x = osc.next_sample() * amp * drive;
+            let (r, theta) = x.to_polar();
+            Complex64::from_polar(dev.pa.am_am(r), theta) * carrier
+        })
+        .collect()
 }
 
 /// One lane plus its reusable output scratch block.
@@ -201,20 +287,42 @@ impl BankStreamer {
     /// number of output samples to its scratch block (cleared first).
     /// Returns that per-lane count.
     pub fn push(&mut self, profile: &[f64]) -> usize {
-        par::par_for_each_mut_threads(self.threads, &mut self.slots, |_, slot| {
-            slot.buf.clear();
-            slot.lane.push(profile, &mut slot.buf);
-        });
-        self.slots.first().map_or(0, |s| s.buf.len())
+        self.advance(Some(profile))
     }
 
     /// Ends the stream, draining held-back samples into the per-lane
     /// blocks. Returns the per-lane count.
     pub fn flush(&mut self) -> usize {
-        par::par_for_each_mut_threads(self.threads, &mut self.slots, |_, slot| {
-            slot.buf.clear();
-            slot.lane.flush(&mut slot.buf);
-        });
+        self.advance(None)
+    }
+
+    /// Advances every lane by one block (`Some(profile)`) or drains it
+    /// (`None`). With more than one thread, slots are moved through the
+    /// persistent [`WorkerPool`] — the no-`unsafe` rule forbids lending
+    /// `&mut` state to pool threads, so ownership makes the round trip
+    /// instead — and come back in device order, keeping output
+    /// bit-identical at any worker count.
+    fn advance(&mut self, profile: Option<&[f64]>) -> usize {
+        if self.threads <= 1 || self.slots.len() <= 1 {
+            for slot in &mut self.slots {
+                slot.buf.clear();
+                match profile {
+                    Some(p) => slot.lane.push(p, &mut slot.buf),
+                    None => slot.lane.flush(&mut slot.buf),
+                }
+            }
+        } else {
+            let shared: Option<Arc<[f64]>> = profile.map(Arc::from);
+            let slots = std::mem::take(&mut self.slots);
+            self.slots = WorkerPool::global().map_move(slots, self.threads, move |_, mut slot| {
+                slot.buf.clear();
+                match &shared {
+                    Some(p) => slot.lane.push(p, &mut slot.buf),
+                    None => slot.lane.flush(&mut slot.buf),
+                }
+                slot
+            });
+        }
         self.slots.first().map_or(0, |s| s.buf.len())
     }
 
@@ -228,12 +336,18 @@ impl BankStreamer {
         self.slots.iter().map(|s| s.buf.as_slice())
     }
 
-    /// Largest per-lane buffer currently held (scratch block + profile
-    /// history), in samples — the footprint probe for the sdr stage.
+    /// Largest per-lane buffer currently held (scratch block, rotor
+    /// phasor scratch, or profile history), in samples — the footprint
+    /// probe for the sdr stage.
     pub fn peak_lane_footprint(&self) -> usize {
         self.slots
             .iter()
-            .map(|s| s.buf.len().max(s.lane.history_len()))
+            .map(|s| {
+                s.buf
+                    .len()
+                    .max(s.lane.history_len())
+                    .max(s.lane.phasors.len())
+            })
             .max()
             .unwrap_or(0)
     }

@@ -90,17 +90,74 @@ else
     echo "skipped (full mode)"
 fi
 
-echo "==> instrumentation overhead recorded and under 2%"
+echo "==> instrumentation overhead: 95% CI upper bound under 2%"
+# The old gate checked the min-of-mins point estimate, which is pure
+# timer noise on a quiet run (it once reported -0.65%). The bench now
+# interleaves (off, obs) pairs and reports a median with an
+# order-statistic 95% CI; the gate holds the *upper* CI bound under 2%,
+# so it cannot pass on a lucky draw.
 pct=$(sed -n 's/.*"obs_overhead_pct":\(-\{0,1\}[0-9.eE+-]*\).*/\1/p' BENCH_runtime.json)
-[ -n "$pct" ] || {
-    echo "verify: FAIL — obs_overhead_pct missing from BENCH_runtime.json" >&2
+hi=$(sed -n 's/.*"obs_overhead_ci95_pct":\[[^,]*,\(-\{0,1\}[0-9.eE+-]*\)\].*/\1/p' BENCH_runtime.json)
+[ -n "$pct" ] && [ -n "$hi" ] || {
+    echo "verify: FAIL — obs overhead median/CI missing from BENCH_runtime.json" >&2
     exit 1
 }
-awk -v v="$pct" 'BEGIN { exit !(v < 2.0) }' || {
-    echo "verify: FAIL — obs_overhead_pct=$pct is not < 2%" >&2
+awk -v v="$hi" 'BEGIN { exit !(v < 2.0) }' || {
+    echo "verify: FAIL — obs overhead 95% CI upper bound ${hi}% is not < 2%" >&2
     exit 1
 }
-echo "obs_overhead_pct=$pct"
+echo "obs_overhead_pct=$pct (95% CI upper bound ${hi}%)"
+
+echo "==> sdr synthesis throughput: >= 20 MS/s streaming"
+# The trig-free lane-batched rotator path. Baseline before the rewrite
+# was 1.5 MS/s; the phasor-rotator + memoized-PA path holds >= 20 MS/s.
+sdr_msps=$(sed -n 's/.*"stage":"sdr","msps":\([0-9.eE+-]*\).*/\1/p' BENCH_runtime.json)
+[ -n "$sdr_msps" ] || {
+    echo "verify: FAIL — streaming sdr msps missing from BENCH_runtime.json" >&2
+    exit 1
+}
+awk -v v="$sdr_msps" 'BEGIN { exit !(v >= 20.0) }' || {
+    echo "verify: FAIL — streaming sdr throughput ${sdr_msps} MS/s is below 20 MS/s" >&2
+    exit 1
+}
+echo "streaming sdr throughput ${sdr_msps} MS/s (gate >= 20)"
+
+echo "==> worker pool: 8-way dispatch amortization >= 4x"
+# Pooled dispatch of 8-chunk batches vs spawn-per-call threads on the
+# identical workload. This measures what the pool refactor fixes —
+# per-dispatch cost — and holds on any core count.
+pool_x=$(sed -n 's/.*"dispatch_speedup_x8":\([0-9.eE+-]*\).*/\1/p' BENCH_runtime.json)
+[ -n "$pool_x" ] || {
+    echo "verify: FAIL — pool dispatch_speedup_x8 missing from BENCH_runtime.json" >&2
+    exit 1
+}
+awk -v v="$pool_x" 'BEGIN { exit !(v >= 4.0) }' || {
+    echo "verify: FAIL — pool dispatch speedup ${pool_x}x is below 4x" >&2
+    exit 1
+}
+echo "pool dispatch speedup ${pool_x}x over spawn-per-call (gate >= 4)"
+
+echo "==> 8-thread parallel_sweep wall-clock speedup (gated when cores >= 8)"
+cores=$(sed -n 's/.*"cores":\([0-9]*\).*/\1/p' BENCH_runtime.json | head -n 1)
+sweep_x=$(sed -n 's/.*"threads":8,"median_ns":[0-9.eE+-]*,"speedup":\([0-9.eE+-]*\).*/\1/p' BENCH_runtime.json)
+[ -n "$cores" ] && [ -n "$sweep_x" ] || {
+    echo "verify: FAIL — cores / 8-thread sweep speedup missing from BENCH_runtime.json" >&2
+    exit 1
+}
+if [ "$cores" -ge 8 ]; then
+    awk -v v="$sweep_x" 'BEGIN { exit !(v >= 4.0) }' || {
+        echo "verify: FAIL — 8-thread parallel_sweep speedup ${sweep_x}x is below 4x on ${cores} cores" >&2
+        exit 1
+    }
+    echo "8-thread parallel_sweep speedup ${sweep_x}x on ${cores} cores (gate >= 4)"
+else
+    echo "informational: 8-thread parallel_sweep speedup ${sweep_x}x on ${cores} core(s) — wall-clock gate requires >= 8 cores"
+fi
+
+echo "==> rotor / pool / streaming-equivalence suites"
+cargo test -q --offline -p ivn-dsp --test rotor_props
+cargo test -q --offline -p ivn-runtime --test pool_props
+cargo test -q --offline -p ivn --test streaming_equivalence
 
 echo "==> streaming pipeline: bit-identical to whole-buffer batch path"
 STREAM_OUT=target/verify_stream.txt
