@@ -21,8 +21,16 @@
 //! `trace_overhead_pct` — the data behind the "one relaxed load when
 //! disabled, negligible when enabled" contract.
 //!
+//! Two early-exit check modes turn the binary into a verify gate
+//! without re-running the benches: `--check-baseline [--baseline <p>]
+//! [--bench <p>]` evaluates an existing BENCH_runtime.json against the
+//! committed BENCH_baseline.json tolerance bands (the perf-regression
+//! sentinel), and `--check-ndjson <path>` validates a flight-recorder
+//! NDJSON stream (gapless seq, monotone clock, ≥3 heartbeats).
+//!
 //! Set `IVN_BENCH_FAST=1` for a quick smoke run.
 
+use ivn_bench::sentinel;
 use ivn_core::experiment::peak_gain_cdf_threads;
 use ivn_core::PAPER_OFFSETS_HZ;
 use ivn_runtime::bench::{black_box, Bench};
@@ -30,6 +38,7 @@ use ivn_runtime::json::{Json, ToJson};
 use ivn_runtime::obs;
 use ivn_runtime::par;
 use ivn_runtime::rng::StdRng;
+use ivn_runtime::telemetry;
 use ivn_runtime::trace;
 
 const SEED: u64 = 42;
@@ -250,8 +259,112 @@ fn kernel_workload(kernel: &str, fast: bool) -> f64 {
     }
 }
 
-fn main() {
+/// Loads and parses a JSON document, with the file's role in the error.
+fn load_json(path: &str, role: &str) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {role} {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{role} {path} is not valid JSON: {e}"))
+}
+
+/// `--check-baseline`: evaluate an existing bench document against the
+/// committed tolerance bands. Skips (exit 0, with a notice) when the
+/// baseline was recorded under a different mode than the bench run —
+/// fast-mode numbers must never be judged against full-mode bands.
+fn run_check_baseline(bench_path: &str, baseline_path: &str) -> std::process::ExitCode {
+    let (bench, baseline) = match (
+        load_json(bench_path, "bench document"),
+        load_json(baseline_path, "baseline"),
+    ) {
+        (Ok(b), Ok(bl)) => (b, bl),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_runtime: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let bench_mode = bench.get("mode").and_then(Json::as_str).unwrap_or("full");
+    match sentinel::baseline_mode(&baseline) {
+        Some(m) if m == bench_mode => {}
+        Some(m) => {
+            println!(
+                "check-baseline: SKIP — baseline recorded in '{m}' mode, bench ran in '{bench_mode}'"
+            );
+            return std::process::ExitCode::SUCCESS;
+        }
+        None => {
+            eprintln!("bench_runtime: baseline {baseline_path} has no 'mode' field");
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+    let checks = match sentinel::check(&bench, &baseline) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_runtime: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    for c in &checks {
+        println!("{}", c.render());
+    }
+    let failed = checks.iter().filter(|c| !c.ok).count();
+    if failed == 0 {
+        println!(
+            "check-baseline: OK — {} metrics within tolerance of {baseline_path}",
+            checks.len()
+        );
+        std::process::ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "check-baseline: FAIL — {failed}/{} metrics outside tolerance of {baseline_path}",
+            checks.len()
+        );
+        std::process::ExitCode::FAILURE
+    }
+}
+
+/// `--check-ndjson`: validate a flight-recorder stream. Requires at
+/// least 3 snapshots (baseline + ≥2 heartbeats) so a recorder that
+/// started and immediately died cannot pass the gate.
+fn run_check_ndjson(path: &str) -> std::process::ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_runtime: cannot read ndjson {path}: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    match telemetry::validate_ndjson(&text) {
+        Ok(n) if n >= 3 => {
+            println!("check-ndjson: OK — {n} valid snapshots in {path}");
+            std::process::ExitCode::SUCCESS
+        }
+        Ok(n) => {
+            eprintln!("check-ndjson: FAIL — only {n} snapshots in {path}, need >= 3");
+            std::process::ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("check-ndjson: FAIL — {path}: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> std::process::ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    if argv.iter().any(|a| a == "--check-baseline") {
+        let bench_path = flag_value("--bench").unwrap_or_else(|| "BENCH_runtime.json".into());
+        let baseline_path =
+            flag_value("--baseline").unwrap_or_else(|| "BENCH_baseline.json".into());
+        return run_check_baseline(&bench_path, &baseline_path);
+    }
+    if let Some(ndjson_path) = flag_value("--check-ndjson") {
+        return run_check_ndjson(&ndjson_path);
+    }
     let with_obs = argv.iter().any(|a| a == "--obs");
     let trace_path = argv
         .iter()
@@ -484,6 +597,34 @@ fn main() {
         ])
     };
 
+    // Per-worker pool observatory snapshot, taken after every pooled
+    // workload above has run, so the lanes reflect this process's whole
+    // dispatch history (sweep + dispatch bench + campaign).
+    let pool_workers_json = {
+        use ivn_runtime::pool::WorkerPool;
+        let lanes = WorkerPool::global().stats();
+        Json::Arr(
+            lanes
+                .iter()
+                .map(|l| {
+                    Json::obj([
+                        ("lane", l.lane.as_str().into()),
+                        ("tasks", (l.tasks as f64).into()),
+                        ("steals", (l.steals as f64).into()),
+                        ("steal_misses", (l.steal_misses as f64).into()),
+                        ("parks", (l.parks as f64).into()),
+                        ("wakes", (l.wakes as f64).into()),
+                        ("busy_ns", (l.busy_ns as f64).into()),
+                        ("idle_ns", (l.idle_ns as f64).into()),
+                        ("busy_frac", l.busy_frac().into()),
+                        ("queue_pushed", (l.queue_pushed as f64).into()),
+                        ("queue_depth_peak", (l.queue_depth_peak as f64).into()),
+                    ])
+                })
+                .collect(),
+        )
+    };
+
     let obs_report = with_obs.then(|| {
         let report = obs::report();
         obs::set_enabled(false);
@@ -499,6 +640,7 @@ fn main() {
 
     let mut fields = vec![
         ("bench", Json::from("peak_gain_cdf")),
+        ("mode", Json::from(if fast { "fast" } else { "full" })),
         ("offsets", offsets.to_vec().into()),
         ("trials", trials.into()),
         ("grid", GRID.into()),
@@ -524,6 +666,7 @@ fn main() {
         ("kernels", Json::Arr(kernel_entries)),
         ("streaming", streaming_json),
         ("campaign", campaign_json),
+        ("pool_workers", pool_workers_json),
         ("results", b.to_json()),
     ];
     if let Some(report) = obs_report {
@@ -537,4 +680,5 @@ fn main() {
     );
     std::fs::write("BENCH_runtime.json", doc.dump() + "\n").expect("write BENCH_runtime.json");
     println!("wrote BENCH_runtime.json");
+    std::process::ExitCode::SUCCESS
 }

@@ -31,7 +31,14 @@
 //!   reproduce generate --out <dir> [--base <name|file>] [--count N]
 //!             [--seed S] [--sweep path=v1,v2,..]... [--jitter path=frac]...
 //!   reproduce campaign <dir> [--quick] [--threads N] [--out <file>]
+//!             [--live <file.ndjson>] [--live-interval-ms <n>]
 //! ```
+//!
+//! `--live <file>` attaches the `ivn_runtime::telemetry` flight recorder
+//! to a campaign: periodic NDJSON heartbeats (counter deltas, derived
+//! rates, pool gauges) stream to `file` while the campaign runs, and a
+//! progress line (scenarios done, scenarios/sec, ETA) goes to stderr on
+//! every heartbeat. Stdout bytes are identical with or without `--live`.
 //!
 //! `--obs` enables the `ivn_runtime::obs` observability layer for the run
 //! and appends the rendered metric report (span timings, per-crate
@@ -70,7 +77,7 @@ const USAGE: &str = "usage: reproduce <target|all> [--quick] [--obs] [--obs-json
        reproduce list
        reproduce export <name> [--out <path>]
        reproduce generate --out <dir> [--base <name|file>] [--count <n>] [--seed <s>] [--sweep <path=v1,v2,..>]... [--jitter <path=frac>]...
-       reproduce campaign <dir> [--quick] [--threads <n>] [--out <file>]";
+       reproduce campaign <dir> [--quick] [--threads <n>] [--out <file>] [--live <file.ndjson>] [--live-interval-ms <n>]";
 
 struct Args {
     target: Option<String>,
@@ -94,6 +101,10 @@ struct Args {
     jitters: Vec<String>,
     /// campaign: worker threads (0 = auto).
     threads: usize,
+    /// campaign: flight-recorder NDJSON sink.
+    live: Option<String>,
+    /// campaign: heartbeat interval in milliseconds.
+    live_interval_ms: u64,
     /// Pipeline-only: override the sample rate (e.g. 1e6 for 1 MS/s).
     sample_rate: Option<f64>,
     /// Pipeline-only: streaming block size.
@@ -119,6 +130,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         sweeps: Vec::new(),
         jitters: Vec::new(),
         threads: 0,
+        live: None,
+        live_interval_ms: 200,
         sample_rate: None,
         block: None,
         batch: false,
@@ -168,6 +181,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a number")?;
                 args.threads = v.parse().map_err(|_| format!("bad --threads '{v}'"))?;
+            }
+            "--live" => {
+                let path = it.next().ok_or("--live needs a file path")?;
+                args.live = Some(path.clone());
+            }
+            "--live-interval-ms" => {
+                let v = it.next().ok_or("--live-interval-ms needs a number")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --live-interval-ms '{v}'"))?;
+                if ms == 0 {
+                    return Err("--live-interval-ms must be positive".into());
+                }
+                args.live_interval_ms = ms;
             }
             "--sample-rate" => {
                 let v = it.next().ok_or("--sample-rate needs a value in Hz")?;
@@ -316,7 +343,53 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     } else {
         args.threads
     };
+
+    // `--live` attaches the flight recorder: metrics on, heartbeats to
+    // the NDJSON sink, progress to stderr. Stdout is untouched either
+    // way, so campaign output stays byte-identical without the flag.
+    let recorder = match &args.live {
+        Some(path) => {
+            ivn_runtime::obs::set_enabled(true);
+            ivn_runtime::obs::reset();
+            let sink = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create live sink {path}: {e}"))?;
+            let total = scenarios.len();
+            Some(ivn_runtime::telemetry::start_with(
+                std::time::Duration::from_millis(args.live_interval_ms),
+                sink,
+                move |snap| {
+                    let done = snap
+                        .totals
+                        .counter("campaign.scenarios_done")
+                        .unwrap_or(0)
+                        .min(total as u64);
+                    let rate = snap.rate("campaign.scenarios_done").unwrap_or(0.0);
+                    let eta = if rate > 0.0 && done < total as u64 {
+                        format!("{:.1}s", (total as u64 - done) as f64 / rate)
+                    } else {
+                        "-".to_string()
+                    };
+                    eprintln!(
+                        "live[{}] {done}/{total} scenarios, {rate:.1}/s, eta {eta}",
+                        snap.seq
+                    );
+                },
+            ))
+        }
+        None => None,
+    };
+
     let outcome = campaign::run(&scenarios, args.quick, threads);
+
+    if let Some(rec) = recorder {
+        rec.stop()
+            .map_err(|e| format!("flight recorder sink error: {e}"))?;
+        ivn_runtime::obs::set_enabled(false);
+        if let Some(path) = &args.live {
+            eprintln!("wrote live telemetry to {path}");
+        }
+    }
+
     print!("{}", outcome.render());
     if let Some(path) = &args.out {
         std::fs::write(path, outcome.report().dump() + "\n")

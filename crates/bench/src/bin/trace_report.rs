@@ -2,7 +2,7 @@
 //! by `reproduce --trace` / `bench_runtime --trace`.
 //!
 //! ```text
-//! trace_report <trace.json> [--check] [--top <k>]
+//! trace_report <trace.json> [--check] [--top <k>] [--attribute] [--bench <BENCH_runtime.json>]
 //! ```
 //!
 //! Prints the profiler view (self-vs-total per span name, per-track
@@ -11,21 +11,36 @@
 //! in-tree JSON layer, requires a non-empty `traceEvents` array and a
 //! matching `E` for every `B` — and exits non-zero on violation
 //! (`scripts/verify.sh` runs this as the trace round-trip gate).
+//! With `--attribute` it prints the bottleneck attribution report
+//! instead: span self time grouped and ranked by pipeline stage,
+//! pool-lane (`pool.job`) utilization and imbalance, and — when
+//! `--bench` points at a BENCH_runtime.json — the per-stage streaming
+//! MS/s spread, so the 8-thread ~1x sweep and the sdr-vs-em gap get an
+//! explanation instead of a number.
 
-use ivn_bench::trace_analysis::analyze;
+use ivn_bench::trace_analysis::{analyze, attribute};
 use ivn_runtime::json::Json;
 use ivn_runtime::trace::Trace;
 use std::process::ExitCode;
 
+const USAGE: &str =
+    "usage: trace_report <trace.json> [--check] [--top <k>] [--attribute] [--bench <bench.json>]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
+    let with_attribution = args.iter().any(|a| a == "--attribute");
     let top_k = args
         .iter()
         .position(|a| a == "--top")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(5);
+    let bench_path = args
+        .iter()
+        .position(|a| a == "--bench")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let path = {
         let mut paths = Vec::new();
         let mut skip = false;
@@ -35,15 +50,15 @@ fn main() -> ExitCode {
                 continue;
             }
             match a.as_str() {
-                "--top" => skip = true,
-                "--check" => {}
+                "--top" | "--bench" => skip = true,
+                "--check" | "--attribute" => {}
                 _ => paths.push(a.clone()),
             }
         }
         paths.into_iter().next()
     };
     let Some(path) = path else {
-        eprintln!("usage: trace_report <trace.json> [--check] [--top <k>]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
 
@@ -88,6 +103,24 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if with_attribution {
+        let bench = match &bench_path {
+            Some(bp) => match std::fs::read_to_string(bp)
+                .map_err(|e| e.to_string())
+                .and_then(|t| Json::parse(&t).map_err(|e| format!("{e}")))
+            {
+                Ok(d) => Some(d),
+                Err(e) => {
+                    eprintln!("trace_report: cannot use --bench {bp}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        print!("{}", attribute(&analyze(&trace), bench.as_ref()).render());
+        return ExitCode::SUCCESS;
     }
 
     print!("{}", analyze(&trace).render(top_k));

@@ -45,12 +45,20 @@ pub fn load_dir(dir: &Path) -> Result<Vec<Scenario>, String> {
 
 /// Runs every scenario on `threads` workers. Deterministic: the result
 /// depends only on the scenario list and the run mode.
+///
+/// With observability on, progress is visible live: the
+/// `campaign.scenarios_total` gauge is set up front and every finished
+/// evaluation bumps the `campaign.scenarios_done` counter, which is what
+/// the `--live` flight recorder diffs into a scenarios/sec rate.
 pub fn run(scenarios: &[Scenario], quick: bool, threads: usize) -> CampaignOutcome {
+    ivn_runtime::obs_gauge!("campaign.scenarios_total", scenarios.len());
     // Pool jobs must own their data, so scenarios are cloned in; the
     // clone is parsing-scale cheap next to a scenario evaluation.
     let owned: Vec<Scenario> = scenarios.to_vec();
     let results = WorkerPool::global().map_move(owned, threads, move |_, s| {
-        (s.name.clone(), evaluate(&s, quick))
+        let out = (s.name.clone(), evaluate(&s, quick));
+        ivn_runtime::obs_count!("campaign.scenarios_done", 1);
+        out
     });
     let mut metrics = Vec::with_capacity(results.len());
     let mut errors = Vec::new();

@@ -39,6 +39,10 @@ pub mod pipeline;
 /// Offline analyzer for Chrome Trace Event JSON produced under `--trace`.
 pub mod trace_analysis;
 
+/// Perf-regression sentinel: compares BENCH_runtime.json against the
+/// committed BENCH_baseline.json with per-metric tolerance bands.
+pub mod sentinel;
+
 /// Formats a row of columns with fixed widths for terminal tables.
 pub fn row(cells: &[String], width: usize) -> String {
     cells

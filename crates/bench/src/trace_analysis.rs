@@ -7,6 +7,7 @@
 //! The `trace_report` binary is a thin shell over [`analyze`] +
 //! [`Analysis::render`]; keeping the logic here makes it unit-testable.
 
+use ivn_runtime::json::Json;
 use ivn_runtime::trace::{EventKind, Trace};
 
 /// One matched begin/end pair, nested via `depth`/`parent`.
@@ -359,6 +360,220 @@ impl Analysis {
     }
 }
 
+// ---------------------------------------------------------------------
+// Bottleneck attribution (`trace_report --attribute`).
+// ---------------------------------------------------------------------
+
+/// Self-time share of one pipeline stage (span names grouped by their
+/// prefix before the first `.` — `sdr.emit_block_ns` → `sdr`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageShare {
+    /// Stage prefix (`sdr`, `em`, `harvester`, `rfid`, `freqsel`, `pool`, …).
+    pub stage: String,
+    /// Summed self time of every span in the stage.
+    pub self_ns: u64,
+    /// Number of spans contributing.
+    pub count: usize,
+    /// `self_ns` over the total self time of all stages.
+    pub share: f64,
+    /// Streaming throughput from BENCH_runtime.json, when provided.
+    pub msps: Option<f64>,
+}
+
+/// One trace track that executed `pool.job` spans — a worker lane (or a
+/// helping caller) as seen from the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolLane {
+    /// Track id.
+    pub track: u32,
+    /// Summed duration of its `pool.job` spans.
+    pub busy_ns: u64,
+    /// Number of jobs it ran.
+    pub jobs: usize,
+    /// `busy_ns` over the trace wall time.
+    pub utilization: f64,
+}
+
+/// The ranked imbalance report combining span self-time by stage,
+/// pool-lane utilization, and (optionally) per-stage streaming MS/s.
+#[derive(Debug, Clone, Default)]
+pub struct Attribution {
+    /// Trace wall time.
+    pub wall_ns: u64,
+    /// Stages ranked by self time, descending.
+    pub stages: Vec<StageShare>,
+    /// Tracks that ran pool jobs, ranked by busy time, descending.
+    pub pool_lanes: Vec<PoolLane>,
+    /// Busiest over least-busy pool lane (`None` with < 2 lanes).
+    pub lane_imbalance: Option<f64>,
+    /// `(slowest stage, fastest stage, ratio)` by streaming MS/s
+    /// (`None` without bench data).
+    pub throughput_imbalance: Option<(String, String, f64)>,
+}
+
+/// Extracts `(stage, msps)` pairs from a BENCH_runtime.json document's
+/// `streaming.stages` section.
+fn streaming_msps(bench: &Json) -> Vec<(String, f64)> {
+    let Some(stages) = bench
+        .get("streaming")
+        .and_then(|s| s.get("stages"))
+        .and_then(Json::as_array)
+    else {
+        return Vec::new();
+    };
+    stages
+        .iter()
+        .filter_map(|e| {
+            let stage = e.get("stage")?.as_str()?.to_string();
+            let msps = e.get("msps")?.as_f64()?;
+            Some((stage, msps))
+        })
+        .collect()
+}
+
+/// Builds the attribution view from an [`Analysis`], optionally joining
+/// per-stage streaming throughput from a parsed BENCH_runtime.json.
+pub fn attribute(a: &Analysis, bench: Option<&Json>) -> Attribution {
+    let msps = bench.map(streaming_msps).unwrap_or_default();
+
+    // Group span self time by stage prefix.
+    let mut stages: Vec<StageShare> = Vec::new();
+    for s in &a.by_name {
+        let stage = s.name.split('.').next().unwrap_or(&s.name).to_string();
+        match stages.iter_mut().find(|g| g.stage == stage) {
+            Some(g) => {
+                g.self_ns += s.self_ns;
+                g.count += s.count;
+            }
+            None => stages.push(StageShare {
+                msps: msps.iter().find(|(n, _)| *n == stage).map(|&(_, v)| v),
+                stage,
+                self_ns: s.self_ns,
+                count: s.count,
+                share: 0.0,
+            }),
+        }
+    }
+    let total: u64 = stages.iter().map(|g| g.self_ns).sum();
+    for g in &mut stages {
+        g.share = if total > 0 {
+            g.self_ns as f64 / total as f64
+        } else {
+            0.0
+        };
+    }
+    stages.sort_by(|x, y| y.self_ns.cmp(&x.self_ns));
+
+    // Pool lanes: tracks with pool.job spans.
+    let mut pool_lanes: Vec<PoolLane> = Vec::new();
+    for iv in a.intervals.iter().filter(|iv| iv.name == "pool.job") {
+        match pool_lanes.iter_mut().find(|l| l.track == iv.track) {
+            Some(l) => {
+                l.busy_ns += iv.dur_ns();
+                l.jobs += 1;
+            }
+            None => pool_lanes.push(PoolLane {
+                track: iv.track,
+                busy_ns: iv.dur_ns(),
+                jobs: 1,
+                utilization: 0.0,
+            }),
+        }
+    }
+    for l in &mut pool_lanes {
+        l.utilization = if a.wall_ns > 0 {
+            l.busy_ns as f64 / a.wall_ns as f64
+        } else {
+            0.0
+        };
+    }
+    pool_lanes.sort_by(|x, y| y.busy_ns.cmp(&x.busy_ns));
+    let lane_imbalance = match (pool_lanes.first(), pool_lanes.last()) {
+        (Some(hi), Some(lo)) if pool_lanes.len() >= 2 && lo.busy_ns > 0 => {
+            Some(hi.busy_ns as f64 / lo.busy_ns as f64)
+        }
+        _ => None,
+    };
+
+    // Throughput imbalance from the streaming section (the 10x
+    // sdr-vs-em spread shows up here regardless of what was traced).
+    let throughput_imbalance = {
+        let mut rated: Vec<&(String, f64)> = msps.iter().filter(|(_, v)| *v > 0.0).collect();
+        rated.sort_by(|x, y| x.1.total_cmp(&y.1));
+        match (rated.first(), rated.last()) {
+            (Some(slow), Some(fast)) if rated.len() >= 2 => {
+                Some((slow.0.clone(), fast.0.clone(), fast.1 / slow.1))
+            }
+            _ => None,
+        }
+    };
+
+    Attribution {
+        wall_ns: a.wall_ns,
+        stages,
+        pool_lanes,
+        lane_imbalance,
+        throughput_imbalance,
+    }
+}
+
+impl Attribution {
+    /// Renders the ranked bottleneck attribution report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out += &format!("bottleneck attribution — {} wall\n", fmt_ns(self.wall_ns));
+
+        out += "\nstage ranking (summed span self time):\n";
+        out += "stage        self time      share   spans   streaming MS/s\n";
+        out += "--------------------------------------------------------\n";
+        for g in &self.stages {
+            out += &format!(
+                "{:<12} {:>11} {:>8.1}% {:>7}   {}\n",
+                g.stage,
+                fmt_ns(g.self_ns),
+                100.0 * g.share,
+                g.count,
+                g.msps
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+
+        if self.pool_lanes.is_empty() {
+            out += "\npool lanes: no pool.job spans in this trace — every \
+                    dispatch ran inline on the caller (width 1, nested, or \
+                    trivial input), which is why extra threads buy nothing\n";
+        } else {
+            out += "\npool lanes (tracks running pool.job spans):\n";
+            for l in &self.pool_lanes {
+                out += &format!(
+                    "  track {:>3}: {:>11} busy, {:>5} jobs, {:>5.1}% of wall\n",
+                    l.track,
+                    fmt_ns(l.busy_ns),
+                    l.jobs,
+                    100.0 * l.utilization
+                );
+            }
+            if let Some(r) = self.lane_imbalance {
+                out += &format!("  lane imbalance (busiest / least busy): {r:.2}x\n");
+            }
+            let covered: f64 = self.pool_lanes.iter().map(|l| l.utilization).sum();
+            out += &format!(
+                "  aggregate lane utilization: {:.2} lane-equivalents over the trace\n",
+                covered
+            );
+        }
+
+        if let Some((slow, fast, ratio)) = &self.throughput_imbalance {
+            out += &format!(
+                "\nstreaming throughput spread: {slow} is {ratio:.1}x slower than \
+                 {fast} — the pipeline drains at the slowest stage's rate\n"
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,5 +672,73 @@ mod tests {
         assert!(text.contains("critical path"));
         assert!(text.contains("utilization"));
         assert!(text.contains("physics probes") || text.contains("counter tracks"));
+    }
+
+    /// Two pool lanes with 3:1 busy imbalance plus sdr/em stage spans.
+    fn pool_trace() -> Trace {
+        Trace {
+            events: vec![
+                ev("pool.job", EventKind::Begin, 2, 0, 0.0),
+                ev("sdr.emit_block_ns", EventKind::Begin, 2, 5, 0.0),
+                ev("sdr.emit_block_ns", EventKind::End, 2, 280, 0.0),
+                ev("pool.job", EventKind::End, 2, 300, 0.0),
+                ev("pool.job", EventKind::Begin, 3, 0, 0.0),
+                ev("em.channel_eval_ns", EventKind::Begin, 3, 10, 0.0),
+                ev("em.channel_eval_ns", EventKind::End, 3, 90, 0.0),
+                ev("pool.job", EventKind::End, 3, 100, 0.0),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn attribution_ranks_stages_and_lanes() {
+        let a = analyze(&pool_trace());
+        let bench = Json::parse(
+            r#"{"streaming":{"stages":[
+                {"stage":"sdr","msps":27.6},
+                {"stage":"em","msps":140.9},
+                {"stage":"harvester","msps":23.3}
+            ]}}"#,
+        )
+        .unwrap();
+        let attr = attribute(&a, Some(&bench));
+
+        // sdr has the widest self time and joins its streaming rate.
+        assert_eq!(attr.stages[0].stage, "sdr");
+        assert_eq!(attr.stages[0].msps, Some(27.6));
+        let shares: f64 = attr.stages.iter().map(|g| g.share).sum();
+        assert!((shares - 1.0).abs() < 1e-9, "shares sum to {shares}");
+
+        // Two pool lanes, 300 vs 100 ns busy → 3x imbalance.
+        assert_eq!(attr.pool_lanes.len(), 2);
+        assert_eq!(attr.pool_lanes[0].track, 2);
+        assert_eq!(attr.pool_lanes[0].busy_ns, 300);
+        assert_eq!(attr.pool_lanes[0].jobs, 1);
+        let imbalance = attr.lane_imbalance.unwrap();
+        assert!((imbalance - 3.0).abs() < 1e-9, "imbalance {imbalance}");
+
+        // harvester (23.3) is the slowest streaming stage vs em (140.9).
+        let (slow, fast, ratio) = attr.throughput_imbalance.clone().unwrap();
+        assert_eq!((slow.as_str(), fast.as_str()), ("harvester", "em"));
+        assert!((ratio - 140.9 / 23.3).abs() < 1e-9);
+
+        let text = attr.render();
+        assert!(text.contains("bottleneck attribution"));
+        assert!(text.contains("stage ranking"));
+        assert!(text.contains("pool lanes"));
+        assert!(text.contains("lane imbalance"));
+        assert!(text.contains("slower than"));
+    }
+
+    #[test]
+    fn attribution_without_pool_or_bench_degrades_gracefully() {
+        let attr = attribute(&analyze(&sample_trace()), None);
+        assert!(attr.pool_lanes.is_empty());
+        assert!(attr.lane_imbalance.is_none());
+        assert!(attr.throughput_imbalance.is_none());
+        let text = attr.render();
+        assert!(text.contains("no pool.job spans"));
+        assert!(text.contains("ran inline"));
     }
 }

@@ -115,6 +115,7 @@ pub fn evaluate(s: &Scenario, quick: bool) -> Result<ScenarioMetrics, String> {
     {
         let population = (*population).max(1);
         let sensors = scenario_deployment(s)?;
+        ivn_runtime::obs_count!("experiment.trials", trials * population);
         let runs = par::ensemble_threads(1, trials, s.seed, |rng, _| {
             run_campaign(rng, &cib, s.eirp_dbm, &sensors, *max_rounds)
         });
@@ -134,6 +135,8 @@ pub fn evaluate(s: &Scenario, quick: bool) -> Result<ScenarioMetrics, String> {
     }
 
     // Single-sensor substrate: gain → power-up transient → downlink.
+    ivn_runtime::obs_count!("experiment.trials", trials);
+    let _eval_span = ivn_runtime::span!("experiment.scenario_eval_ns");
     let (powerup_rate, command_rate) = rates(&s.kind);
     let query = Command::Query {
         dr: DivideRatio::Dr8,
@@ -248,6 +251,32 @@ mod tests {
         assert!(m.powered_frac() > 0.5, "powered {}", m.powered_frac());
         assert!(m.decode_frac() > 0.0, "inventoried {}", m.decode_frac());
         assert_eq!(m.to_json().get("gain_db"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn evaluate_counts_experiment_trials() {
+        // The campaign path must feed the same `experiment.trials`
+        // counter the figure experiments do — it was stuck at zero in
+        // the embedded obs_report because only figure entry points
+        // incremented it.
+        ivn_runtime::obs::set_enabled(true);
+        let before = ivn_runtime::obs::report()
+            .counter("experiment.trials")
+            .unwrap_or(0);
+        let s = builtin("session").unwrap();
+        let m = evaluate(&s, true).unwrap();
+        let multi = builtin("multisensor").unwrap();
+        let mm = evaluate(&multi, true).unwrap();
+        let after = ivn_runtime::obs::report()
+            .counter("experiment.trials")
+            .unwrap_or(0);
+        assert!(after > before, "experiment.trials did not advance");
+        assert!(
+            after - before >= (m.trials + mm.trials) as u64,
+            "expected >= {} new trials, got {}",
+            m.trials + mm.trials,
+            after - before
+        );
     }
 
     #[test]

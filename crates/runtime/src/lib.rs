@@ -32,6 +32,11 @@
 //!   Event Format JSON for `chrome://tracing` / Perfetto. Same
 //!   off-by-default, free-when-off contract as [`obs`]; [`span!`] feeds
 //!   both layers from one call site.
+//! * [`telemetry`] — the flight recorder: a heartbeat sampler thread
+//!   that diffs successive [`obs::Report`] snapshots
+//!   ([`obs::Report::delta`]) and streams newline-delimited JSON
+//!   heartbeats (seq, counter deltas, derived per-second rates, gauges)
+//!   to any `Write` sink while a long run is still in flight.
 //!
 //! Design notes live in DESIGN.md §"Runtime layer".
 
@@ -42,4 +47,5 @@ pub mod par;
 pub mod pool;
 pub mod prop;
 pub mod rng;
+pub mod telemetry;
 pub mod trace;

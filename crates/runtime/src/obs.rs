@@ -238,7 +238,7 @@ impl Gauge {
     }
 
     #[inline]
-    fn set_unchecked(&self, v: f64) {
+    pub(crate) fn set_unchecked(&self, v: f64) {
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
@@ -387,6 +387,30 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Bucket-wise difference `self − prev` for monotonically growing
+    /// recordings (a later snapshot of the same histogram). Counts
+    /// saturate at zero so a stale `prev` can never produce negative
+    /// buckets; `sum` subtracts wrapping, the exact inverse of
+    /// [`merge`](Self::merge)'s wrapping add.
+    pub fn diff(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut dense = [0u64; HIST_BUCKETS];
+        for &(i, n) in &self.buckets {
+            dense[i] = n;
+        }
+        for &(i, n) in &prev.buckets {
+            dense[i] = dense[i].saturating_sub(n);
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(prev.count),
+            sum: self.sum.wrapping_sub(prev.sum),
+            buckets: dense
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &n)| (n > 0).then_some((i, n)))
+                .collect(),
+        }
+    }
+
     /// Mean of the recorded samples (`None` when empty).
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
@@ -469,6 +493,7 @@ struct Registry {
     counters: Mutex<Vec<&'static Counter>>,
     gauges: Mutex<Vec<&'static Gauge>>,
     histograms: Mutex<Vec<&'static Histogram>>,
+    collectors: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
 }
 
 fn registry() -> &'static Registry {
@@ -477,7 +502,20 @@ fn registry() -> &'static Registry {
         counters: Mutex::new(Vec::new()),
         gauges: Mutex::new(Vec::new()),
         histograms: Mutex::new(Vec::new()),
+        collectors: Mutex::new(Vec::new()),
     })
+}
+
+/// Registers a hook that [`report`] runs before snapshotting, so
+/// subsystems that keep their own always-on internals (the worker pool's
+/// per-lane atomics) can publish them as gauges just in time. Hooks must
+/// not call [`report`] themselves.
+pub fn register_collector(f: impl Fn() + Send + Sync + 'static) {
+    registry()
+        .collectors
+        .lock()
+        .expect("metric registry poisoned")
+        .push(Box::new(f));
 }
 
 fn find_or_create<T>(
@@ -681,9 +719,17 @@ pub struct Report {
     pub histograms: Vec<(String, HistogramSnapshot)>,
 }
 
-/// Snapshots the whole registry.
+/// Snapshots the whole registry (running registered collectors first).
 pub fn report() -> Report {
     let r = registry();
+    for c in r
+        .collectors
+        .lock()
+        .expect("metric registry poisoned")
+        .iter()
+    {
+        c();
+    }
     let mut counters: Vec<(String, u64)> = r
         .counters
         .lock()
@@ -737,17 +783,102 @@ impl Report {
             .map(|(_, s)| s)
     }
 
-    /// Human-readable multi-line rendering (stable ordering).
+    /// Interval difference `self − prev`, for two snapshots of the same
+    /// process taken in that order: counters subtract (saturating, so a
+    /// counter absent from `self` or reset in between never underflows),
+    /// histograms subtract bucket-wise, and gauges keep `self`'s values
+    /// (a gauge is a level, not an accumulation). Names present only in
+    /// `self` pass through whole; names present only in `prev` are
+    /// dropped — the registry never unregisters, so that only happens
+    /// with a foreign `prev`.
+    ///
+    /// For monotone recordings, `prev.merge(&cur.delta(&prev)) == cur`.
+    pub fn delta(&self, prev: &Report) -> Report {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), v.saturating_sub(prev.counter(n).unwrap_or(0))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(n, s)| {
+                let d = match prev.histogram(n) {
+                    Some(p) => s.diff(p),
+                    None => s.clone(),
+                };
+                (n.clone(), d)
+            })
+            .collect();
+        Report {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Element-wise union: counters add, histograms merge bucket-wise,
+    /// and for gauges `other` wins on a shared name (it is the later
+    /// snapshot). Output stays sorted by name.
+    pub fn merge(&self, other: &Report) -> Report {
+        fn unioned<T: Clone>(
+            a: &[(String, T)],
+            b: &[(String, T)],
+            combine: impl Fn(&T, &T) -> T,
+        ) -> Vec<(String, T)> {
+            let mut out: Vec<(String, T)> = a.to_vec();
+            for (n, v) in b {
+                match out.iter_mut().find(|(name, _)| name == n) {
+                    Some((_, existing)) => *existing = combine(existing, v),
+                    None => out.push((n.clone(), v.clone())),
+                }
+            }
+            out.sort_by(|x, y| x.0.cmp(&y.0));
+            out
+        }
+        Report {
+            counters: unioned(&self.counters, &other.counters, |a, b| a.wrapping_add(*b)),
+            gauges: unioned(&self.gauges, &other.gauges, |_, b| *b),
+            histograms: unioned(&self.histograms, &other.histograms, |a, b| a.merge(b)),
+        }
+    }
+
+    /// A copy without never-hit metrics: counters at zero and histograms
+    /// with no samples. Gauges survive — `0.0` is a legitimate last
+    /// written value, not evidence of silence. Pruned entries are merge
+    /// identities, so `a.pruned().merge(&b) == a.merge(&b).pruned()`
+    /// whenever `b` covers `a`'s names: dropping them loses nothing.
+    pub fn pruned(&self) -> Report {
+        Report {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(_, v)| *v > 0)
+                .cloned()
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(_, s)| s.count > 0)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Human-readable multi-line rendering (stable ordering). Metrics
+    /// that never fired — zero counters, empty histograms — are omitted.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for (name, v) in &self.counters {
+        let r = self.pruned();
+        for (name, v) in &r.counters {
             let _ = writeln!(out, "counter    {name:<40} {v}");
         }
-        for (name, v) in &self.gauges {
+        for (name, v) in &r.gauges {
             let _ = writeln!(out, "gauge      {name:<40} {v}");
         }
-        for (name, s) in &self.histograms {
+        for (name, s) in &r.histograms {
             let mean = s.mean().unwrap_or(0.0);
             let _ = writeln!(
                 out,
@@ -761,12 +892,15 @@ impl Report {
 }
 
 impl ToJson for Report {
+    /// Serializes the [`pruned`](Report::pruned) view: zero counters and
+    /// empty histograms are merge identities and carry no information.
     fn to_json(&self) -> Json {
+        let r = self.pruned();
         Json::obj([
             (
                 "counters",
                 Json::Obj(
-                    self.counters
+                    r.counters
                         .iter()
                         .map(|(n, v)| (n.clone(), Json::Num(*v as f64)))
                         .collect(),
@@ -775,7 +909,7 @@ impl ToJson for Report {
             (
                 "gauges",
                 Json::Obj(
-                    self.gauges
+                    r.gauges
                         .iter()
                         .map(|(n, v)| (n.clone(), Json::Num(*v)))
                         .collect(),
@@ -784,7 +918,7 @@ impl ToJson for Report {
             (
                 "histograms",
                 Json::Obj(
-                    self.histograms
+                    r.histograms
                         .iter()
                         .map(|(n, s)| (n.clone(), s.to_json()))
                         .collect(),
@@ -966,7 +1100,72 @@ mod tests {
         let r = report();
         let text = r.to_json().dump();
         let back = Report::from_json(&Json::parse(&text).expect("parse")).expect("from_json");
-        assert_eq!(back, r);
+        // JSON carries the pruned view; merge semantics are unchanged
+        // because the dropped entries are merge identities.
+        assert_eq!(back, r.pruned());
+        assert_eq!(back.counter("test.obs.rt_counter"), Some(42));
+    }
+
+    #[test]
+    fn json_omits_zero_count_metrics() {
+        set_enabled(true);
+        counter("test.obs.zero_counter"); // registered, never incremented
+        histogram("test.obs.zero_hist"); // registered, never recorded
+        counter("test.obs.nonzero_counter").add(1);
+        let text = report().to_json().dump();
+        assert!(!text.contains("test.obs.zero_counter"));
+        assert!(!text.contains("test.obs.zero_hist"));
+        assert!(text.contains("test.obs.nonzero_counter"));
+        let rendered = report().render();
+        assert!(!rendered.contains("test.obs.zero_counter"));
+        assert!(!rendered.contains("test.obs.zero_hist"));
+    }
+
+    #[test]
+    fn pruning_preserves_merge_semantics() {
+        let a = Report {
+            counters: vec![("c.live".into(), 3), ("c.zero".into(), 0)],
+            gauges: vec![("g".into(), 1.5)],
+            histograms: vec![
+                ("h.empty".into(), HistogramSnapshot::default()),
+                ("h.live".into(), HistogramSnapshot::from_values(&[7, 9])),
+            ],
+        };
+        let b = Report {
+            counters: vec![("c.live".into(), 2), ("c.zero".into(), 5)],
+            gauges: vec![("g".into(), 2.5)],
+            histograms: vec![
+                ("h.empty".into(), HistogramSnapshot::from_values(&[1])),
+                ("h.live".into(), HistogramSnapshot::from_values(&[4])),
+            ],
+        };
+        // Zero entries are merge identities: pruning before the merge
+        // changes nothing as long as the other side names them.
+        assert_eq!(a.pruned().merge(&b), a.merge(&b).pruned());
+        assert_eq!(a.merge(&b).counter("c.live"), Some(5));
+        assert_eq!(a.merge(&b).gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn delta_then_merge_recovers_later_snapshot() {
+        set_enabled(true);
+        counter("test.obs.delta_counter").add(10);
+        histogram("test.obs.delta_hist").record(100);
+        let prev = report();
+        counter("test.obs.delta_counter").add(7);
+        histogram("test.obs.delta_hist").record(2000);
+        gauge("test.obs.delta_gauge").set(3.25);
+        let cur = report();
+        let d = cur.delta(&prev);
+        assert_eq!(d.counter("test.obs.delta_counter"), Some(7));
+        assert_eq!(d.histogram("test.obs.delta_hist").unwrap().count, 1);
+        assert_eq!(d.gauge("test.obs.delta_gauge"), Some(3.25));
+        assert_eq!(prev.merge(&d), cur);
+        // Self-delta is all-zero; reversed order saturates instead of wrapping.
+        for (n, v) in &cur.delta(&cur).counters {
+            assert_eq!(*v, 0, "counter {n} nonzero in self-delta");
+        }
+        assert_eq!(prev.delta(&cur).counter("test.obs.delta_counter"), Some(0));
     }
 
     #[test]

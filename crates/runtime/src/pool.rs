@@ -35,12 +35,14 @@
 //! dispatch never pays a context switch per chunk and the caller thread
 //! counts as an extra executor.
 
+use crate::obs;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -61,9 +63,38 @@ pub fn chunk_size(n: usize, width: usize) -> usize {
     n.div_ceil(width.max(1) * 4).max(1)
 }
 
+/// Always-on per-lane execution counters (relaxed atomics — one
+/// `fetch_add` next to a mutex lock that was already there). Lane `i`
+/// for `i < workers` is worker thread `i`; the extra trailing lane
+/// aggregates every *helping caller* (threads executing queued jobs
+/// while they wait in [`WorkerPool::collect_helping`]).
+#[derive(Debug, Default)]
+struct LaneStats {
+    /// Jobs this lane grabbed and ran.
+    tasks: AtomicU64,
+    /// Jobs taken from another lane's queue.
+    steals: AtomicU64,
+    /// Probes of other queues that came up empty.
+    steal_misses: AtomicU64,
+    /// Times the lane ran out of local + stealable work and parked.
+    parks: AtomicU64,
+    /// Condvar wakeups received while parked.
+    wakes: AtomicU64,
+    /// Wall time spent executing jobs.
+    busy_ns: AtomicU64,
+    /// Wall time spent parked between jobs.
+    idle_ns: AtomicU64,
+    /// Jobs submitted into this lane's queue (workers only).
+    queue_pushed: AtomicU64,
+    /// Deepest this lane's queue has ever been (workers only).
+    queue_depth_peak: AtomicU64,
+}
+
 struct Shared {
     /// One job deque per worker; owners pop the front, thieves the back.
     queues: Vec<Mutex<VecDeque<Job>>>,
+    /// `queues.len() + 1` lanes — see [`LaneStats`].
+    stats: Vec<LaneStats>,
     /// Jobs pushed but not yet grabbed (not: not yet finished).
     pending: AtomicUsize,
     shutdown: AtomicBool,
@@ -74,8 +105,9 @@ struct Shared {
 
 impl Shared {
     /// Takes one job: own queue front first, then steal from the back of
-    /// the other queues, nearest first.
-    fn grab(&self, home: usize) -> Option<Job> {
+    /// the other queues, nearest first. `lane` is the stats lane doing
+    /// the grabbing (a worker's home index, or the callers lane).
+    fn grab(&self, home: usize, lane: usize) -> Option<Job> {
         let k = self.queues.len();
         for off in 0..k {
             let qi = (home + off) % k;
@@ -87,31 +119,72 @@ impl Shared {
             };
             if let Some(job) = job {
                 self.pending.fetch_sub(1, Ordering::AcqRel);
+                self.stats[lane].tasks.fetch_add(1, Ordering::Relaxed);
+                if off != 0 {
+                    self.stats[lane].steals.fetch_add(1, Ordering::Relaxed);
+                    crate::trace_instant!("pool.steal");
+                }
                 return Some(job);
+            }
+            if off != 0 {
+                self.stats[lane]
+                    .steal_misses
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
         None
     }
+
+    /// Runs one grabbed job, charging its wall time to `lane` and
+    /// framing it as a `pool.job` span on the executing thread's trace
+    /// track (that is what makes per-lane utilization visible in
+    /// `trace_report`).
+    fn run_job(&self, job: Job, lane: usize) {
+        let t0 = Instant::now();
+        {
+            let _job_span = crate::trace_span!("pool.job");
+            // Jobs built by map_* catch their own panics; this outer
+            // catch only keeps the executor alive if a raw job leaks one.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        }
+        self.stats[lane]
+            .busy_ns
+            .fetch_add(elapsed_ns(t0), Ordering::Relaxed);
+    }
+}
+
+#[inline]
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 fn worker_loop(shared: &Shared, home: usize) {
     IS_POOL_WORKER.with(|f| f.set(true));
+    let stats = &shared.stats[home];
     loop {
-        while let Some(job) = shared.grab(home) {
-            // Jobs built by map_* catch their own panics; this outer
-            // catch only keeps the worker alive if a raw job leaks one.
-            let _ = catch_unwind(AssertUnwindSafe(job));
+        while let Some(job) = shared.grab(home, home) {
+            shared.run_job(job, home);
         }
+        let parked_at = Instant::now();
+        stats.parks.fetch_add(1, Ordering::Relaxed);
         let mut guard = shared.gate.lock().unwrap();
         loop {
             if shared.shutdown.load(Ordering::Acquire) {
+                stats
+                    .idle_ns
+                    .fetch_add(elapsed_ns(parked_at), Ordering::Relaxed);
                 return;
             }
             if shared.pending.load(Ordering::Acquire) > 0 {
                 break;
             }
             guard = shared.cv.wait(guard).unwrap();
+            stats.wakes.fetch_add(1, Ordering::Relaxed);
         }
+        drop(guard);
+        stats
+            .idle_ns
+            .fetch_add(elapsed_ns(parked_at), Ordering::Relaxed);
     }
 }
 
@@ -130,6 +203,7 @@ impl WorkerPool {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            stats: (0..workers + 1).map(|_| LaneStats::default()).collect(),
             pending: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             gate: Mutex::new(()),
@@ -152,10 +226,17 @@ impl WorkerPool {
     }
 
     /// The process-wide pool, created on first use with
-    /// [`num_threads`](crate::par::num_threads) workers.
+    /// [`num_threads`](crate::par::num_threads) workers. Its lane stats
+    /// are published as `pool.*` gauges on every
+    /// [`obs::report`](crate::obs::report) via a registered collector.
     pub fn global() -> &'static WorkerPool {
         static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
-        GLOBAL.get_or_init(|| WorkerPool::new(crate::par::num_threads()))
+        GLOBAL.get_or_init(|| {
+            let pool = WorkerPool::new(crate::par::num_threads());
+            let shared = Arc::clone(&pool.shared);
+            obs::register_collector(move || publish_stats(&shared));
+            pool
+        })
     }
 
     /// Number of worker threads in this pool.
@@ -164,17 +245,40 @@ impl WorkerPool {
     }
 
     /// Enqueues owned jobs round-robin across the worker deques and wakes
-    /// the workers.
+    /// the workers. With observability on, each job is stamped at
+    /// submission and reports its queue→execution latency into the
+    /// `pool.dispatch_latency_ns` histogram; the queue depth seen at each
+    /// push lands in `pool.queue_depth`.
     fn submit(&self, jobs: Vec<Job>) {
         if jobs.is_empty() {
             return;
         }
         let k = self.shared.queues.len();
         let many = jobs.len() > 1;
+        let measure = obs::enabled();
         for job in jobs {
             let qi = self.next_queue.fetch_add(1, Ordering::Relaxed) % k;
+            let job = if measure {
+                let queued_at = Instant::now();
+                Box::new(move || {
+                    dispatch_latency_hist().record(elapsed_ns(queued_at));
+                    job();
+                }) as Job
+            } else {
+                job
+            };
             self.shared.pending.fetch_add(1, Ordering::AcqRel);
-            self.shared.queues[qi].lock().unwrap().push_back(job);
+            let depth = {
+                let mut q = self.shared.queues[qi].lock().unwrap();
+                q.push_back(job);
+                q.len() as u64
+            };
+            let stats = &self.shared.stats[qi];
+            stats.queue_pushed.fetch_add(1, Ordering::Relaxed);
+            stats.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+            if measure {
+                queue_depth_hist().record(depth);
+            }
         }
         // Lock-then-notify so a worker between its pending check and its
         // wait cannot miss the wakeup.
@@ -315,17 +419,126 @@ impl WorkerPool {
             if parts.len() >= chunks {
                 break;
             }
-            if let Some(job) = self.shared.grab(0) {
+            let callers_lane = self.shared.queues.len();
+            if let Some(job) = self.shared.grab(0, callers_lane) {
                 // May be a chunk of an unrelated concurrent dispatch —
                 // executing it is still progress, and ours can only be
                 // taken by someone who will finish it.
-                let _ = catch_unwind(AssertUnwindSafe(job));
+                self.shared.run_job(job, callers_lane);
             } else {
                 parts.push(rx.recv().expect("pool worker delivered result"));
             }
         }
         parts
     }
+
+    /// Point-in-time copy of every lane's counters: one entry per worker
+    /// (`w0`, `w1`, …) plus the aggregate `callers` lane for threads
+    /// that executed jobs while waiting on their own dispatch.
+    pub fn stats(&self) -> Vec<LaneSnapshot> {
+        lane_snapshots(&self.shared)
+    }
+}
+
+/// Exported view of one lane's [`LaneStats`]; see
+/// [`WorkerPool::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneSnapshot {
+    /// `"w0"`, `"w1"`, … for workers; `"callers"` for helping callers.
+    pub lane: String,
+    /// Jobs grabbed and run by this lane.
+    pub tasks: u64,
+    /// Jobs taken from another lane's queue.
+    pub steals: u64,
+    /// Probes of other queues that found them empty.
+    pub steal_misses: u64,
+    /// Times the lane parked (workers only).
+    pub parks: u64,
+    /// Condvar wakeups received while parked (workers only).
+    pub wakes: u64,
+    /// Wall time spent executing jobs.
+    pub busy_ns: u64,
+    /// Wall time spent parked (workers only).
+    pub idle_ns: u64,
+    /// Jobs submitted into this lane's queue (workers only).
+    pub queue_pushed: u64,
+    /// Deepest the lane's queue has been (workers only).
+    pub queue_depth_peak: u64,
+}
+
+impl LaneSnapshot {
+    /// Fraction of accounted wall time spent executing jobs
+    /// (`busy / (busy + idle)`; 0.0 before the lane has done anything).
+    pub fn busy_frac(&self) -> f64 {
+        let total = self.busy_ns + self.idle_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / total as f64
+        }
+    }
+}
+
+fn lane_snapshots(shared: &Shared) -> Vec<LaneSnapshot> {
+    let k = shared.queues.len();
+    shared
+        .stats
+        .iter()
+        .enumerate()
+        .map(|(i, s)| LaneSnapshot {
+            lane: if i < k {
+                format!("w{i}")
+            } else {
+                "callers".to_string()
+            },
+            tasks: s.tasks.load(Ordering::Relaxed),
+            steals: s.steals.load(Ordering::Relaxed),
+            steal_misses: s.steal_misses.load(Ordering::Relaxed),
+            parks: s.parks.load(Ordering::Relaxed),
+            wakes: s.wakes.load(Ordering::Relaxed),
+            busy_ns: s.busy_ns.load(Ordering::Relaxed),
+            idle_ns: s.idle_ns.load(Ordering::Relaxed),
+            queue_pushed: s.queue_pushed.load(Ordering::Relaxed),
+            queue_depth_peak: s.queue_depth_peak.load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+/// Publishes the global pool's lane stats as `pool.<lane>.*` gauges —
+/// runs as an [`obs::register_collector`] hook on every `obs::report()`
+/// (and therefore on every flight-recorder heartbeat).
+fn publish_stats(shared: &Shared) {
+    for s in lane_snapshots(shared) {
+        let set = |suffix: &str, v: f64| {
+            obs::gauge(&format!("pool.{}.{suffix}", s.lane)).set_unchecked(v);
+        };
+        set("tasks", s.tasks as f64);
+        set("steals", s.steals as f64);
+        set("steal_misses", s.steal_misses as f64);
+        set("parks", s.parks as f64);
+        set("wakes", s.wakes as f64);
+        set("busy_ns", s.busy_ns as f64);
+        set("idle_ns", s.idle_ns as f64);
+        set("busy_frac", s.busy_frac());
+        if !s.lane.starts_with("callers") {
+            set("queue_pushed", s.queue_pushed as f64);
+            set("queue_depth_peak", s.queue_depth_peak as f64);
+        }
+    }
+    for (i, q) in shared.queues.iter().enumerate() {
+        let depth = q.lock().unwrap().len() as f64;
+        obs::gauge(&format!("pool.w{i}.queue_depth")).set_unchecked(depth);
+    }
+}
+
+fn dispatch_latency_hist() -> &'static obs::Histogram {
+    static H: OnceLock<&'static obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| obs::histogram("pool.dispatch_latency_ns"))
+}
+
+fn queue_depth_hist() -> &'static obs::Histogram {
+    static H: OnceLock<&'static obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| obs::histogram("pool.queue_depth"))
 }
 
 impl Drop for WorkerPool {
@@ -411,5 +624,36 @@ mod tests {
         assert_eq!(chunk_size(1, 8), 1);
         assert_eq!(chunk_size(1_000_000, 8), 31_250);
         assert_eq!(chunk_size(5, 0), 2);
+    }
+
+    #[test]
+    fn lane_stats_account_for_every_job() {
+        let pool = WorkerPool::new(2);
+        let before: u64 = pool.stats().iter().map(|s| s.tasks).sum();
+        pool.map_indexed(100, 8, |i| i * 3);
+        let stats = pool.stats();
+        assert_eq!(stats.len(), 3, "w0, w1, callers");
+        assert_eq!(stats[0].lane, "w0");
+        assert_eq!(stats[2].lane, "callers");
+        let tasks: u64 = stats.iter().map(|s| s.tasks).sum();
+        // Every chunk was grabbed by exactly one lane.
+        let chunks = 100u64.div_ceil(chunk_size(100, 8) as u64);
+        assert_eq!(tasks - before, chunks, "stats: {stats:?}");
+        let pushed: u64 = stats.iter().map(|s| s.queue_pushed).sum();
+        assert!(pushed >= chunks, "stats: {stats:?}");
+        for s in &stats {
+            assert!(s.busy_frac() >= 0.0 && s.busy_frac() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn dispatch_latency_recorded_when_obs_enabled() {
+        obs::set_enabled(true);
+        let pool = WorkerPool::new(2);
+        let before = obs::histogram("pool.dispatch_latency_ns").snapshot().count;
+        pool.map_indexed(64, 8, |i| i + 1);
+        let after = obs::histogram("pool.dispatch_latency_ns").snapshot().count;
+        assert!(after > before, "dispatch latency not recorded");
+        assert!(obs::histogram("pool.queue_depth").snapshot().count > 0);
     }
 }

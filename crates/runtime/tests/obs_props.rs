@@ -114,10 +114,68 @@ props! {
     }
 
     fn report_round_trips_through_json(r in report_strategy()) {
+        // JSON carries the pruned view (zero counters and empty
+        // histograms dropped); everything that ever fired survives the
+        // round trip bit-for-bit, and pruning is idempotent.
         let text = r.to_json().dump();
         let parsed = Json::parse(&text).expect("parse emitted JSON");
         let back = Report::from_json(&parsed).expect("decode report");
-        prop_assert_eq!(back, r);
+        prop_assert_eq!(&back, &r.pruned());
+        prop_assert_eq!(back.pruned(), back);
+    }
+
+    fn pruning_preserves_merge(a in report_strategy(), b in report_strategy()) {
+        // The entries pruning drops are merge identities, so merging the
+        // pruned view back into any report that names the same metrics
+        // gives the same totals as merging the full view.
+        let full = a.merge(&b);
+        let via_pruned = a.pruned().merge(&b);
+        for (name, v) in &full.counters {
+            if b.counter(name).is_some() || a.counter(name).unwrap_or(0) > 0 {
+                prop_assert_eq!(via_pruned.counter(name), Some(*v));
+            }
+        }
+        for (name, s) in &full.histograms {
+            let survived = b.histogram(name).is_some()
+                || a.histogram(name).map(|h| h.count > 0).unwrap_or(false);
+            if survived {
+                prop_assert_eq!(via_pruned.histogram(name), Some(s));
+            }
+        }
+    }
+
+    fn delta_merge_identity(prev in report_strategy(), extra in report_strategy()) {
+        // Build `cur` as a later snapshot of `prev` (same or grown name
+        // set, monotone counters/histograms), then check the flight
+        // recorder's core identity: prev ⊎ (cur − prev) == cur, and the
+        // delta never goes negative (saturating arithmetic).
+        let cur = prev.merge(&extra);
+        let d = cur.delta(&prev);
+        prop_assert_eq!(prev.merge(&d), cur);
+        for (name, v) in &d.counters {
+            let (p, c) = (prev.counter(name).unwrap_or(0), cur.counter(name).unwrap_or(0));
+            prop_assert_eq!(*v, c - p);
+        }
+        // Reversed-order delta saturates to zero instead of wrapping.
+        for (name, v) in &prev.delta(&cur).counters {
+            let (p, c) = (prev.counter(name).unwrap_or(0), cur.counter(name).unwrap_or(0));
+            prop_assert_eq!(*v, p.saturating_sub(c));
+        }
+    }
+
+    fn delta_scheduling_independent(
+        increments in vec(1u64..1_000_000, 1..48),
+        threads in prop_oneof![Just(1usize), Just(2usize), Just(8usize)]
+    ) {
+        // The interval delta a heartbeat reports depends only on what was
+        // recorded, not on which worker recorded it.
+        obs::set_enabled(true);
+        let name = unique_name("prop.delta");
+        let c = obs::counter(&name);
+        let prev = obs::report();
+        par::par_map_threads(threads, &increments, |_, &n| c.add(n));
+        let d = obs::report().delta(&prev);
+        prop_assert_eq!(d.counter(&name), Some(increments.iter().sum::<u64>()));
     }
 
     fn snapshot_mean_sits_inside_bucket_range(vs in values()) {

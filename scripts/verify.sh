@@ -255,4 +255,60 @@ grep -q '"campaign"' BENCH_runtime.json && grep -q '"scenarios_per_sec"' BENCH_r
     exit 1
 }
 
+echo "==> telemetry + sentinel suites (flight recorder, delta/merge, tolerance bands)"
+cargo test -q --offline -p ivn-runtime telemetry
+cargo test -q --offline -p ivn-bench --lib sentinel
+
+echo "==> BENCH_runtime.json carries per-worker pool observatory metrics"
+for key in pool_workers steals steal_misses busy_frac queue_depth_peak; do
+    grep -q "\"$key\"" BENCH_runtime.json || {
+        echo "verify: FAIL — pool observatory key '$key' missing from BENCH_runtime.json" >&2
+        exit 1
+    }
+done
+echo "pool observatory metrics present"
+
+echo "==> flight recorder: live campaign telemetry is valid NDJSON"
+LIVE_FLEET=target/verify_live_fleet
+LIVE_OUT=target/verify_live.ndjson
+rm -rf "$LIVE_FLEET"
+cargo run --release --offline -p ivn-bench --bin reproduce -- generate --out "$LIVE_FLEET" --base session --count 64 --seed 7 \
+    --sweep placement.depth_m=0.02,0.05,0.08,0.11 --jitter eirp_dbm=0.05 > /dev/null
+cargo run --release --offline -p ivn-bench --bin reproduce -- campaign "$LIVE_FLEET" --quick \
+    --live "$LIVE_OUT" --live-interval-ms 2 > target/verify_live_on.txt 2> /dev/null
+# validate_ndjson checks parseable lines, gapless seq from 0, monotone
+# elapsed time; the gate also requires >= 3 snapshots so a recorder that
+# started and immediately died cannot pass.
+cargo run --release --offline -p ivn-bench --bin bench_runtime -- --check-ndjson "$LIVE_OUT"
+grep -q '"rates"' "$LIVE_OUT" || {
+    echo "verify: FAIL — no rates in $LIVE_OUT snapshots" >&2
+    exit 1
+}
+grep -q 'campaign.scenarios_done' "$LIVE_OUT" || {
+    echo "verify: FAIL — campaign progress counter missing from $LIVE_OUT" >&2
+    exit 1
+}
+# --live must never change the campaign's answer: stdout byte-identical
+# to a run with telemetry off.
+cargo run --release --offline -p ivn-bench --bin reproduce -- campaign "$LIVE_FLEET" --quick > target/verify_live_off.txt 2> /dev/null
+cmp target/verify_live_on.txt target/verify_live_off.txt || {
+    echo "verify: FAIL — campaign stdout differs with --live enabled" >&2
+    exit 1
+}
+echo "live telemetry OK ($(wc -l < "$LIVE_OUT") snapshots, stdout byte-identical)"
+
+echo "==> bottleneck attribution from the verify trace"
+cargo run --release --offline -p ivn-bench --bin trace_report -- "$TRACE_OUT" --attribute --bench BENCH_runtime.json > target/verify_attr.txt
+grep -q 'bottleneck attribution' target/verify_attr.txt && grep -q 'stage ranking' target/verify_attr.txt || {
+    echo "verify: FAIL — trace_report --attribute did not produce an attribution report" >&2
+    exit 1
+}
+echo "attribution report OK"
+
+echo "==> perf-regression sentinel: BENCH_runtime.json vs committed baseline"
+# Band-by-band tolerance check against BENCH_baseline.json; skips itself
+# (exit 0 with a notice) when the bench ran in a different mode than the
+# baseline was recorded under.
+cargo run --release --offline -p ivn-bench --bin bench_runtime -- --check-baseline
+
 echo "verify: OK"
