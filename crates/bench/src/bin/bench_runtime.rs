@@ -597,6 +597,96 @@ fn main() -> std::process::ExitCode {
         ])
     };
 
+    // Plan-sharing campaign: the same session fleet but with an
+    // `Optimize` frequency plan, so every scenario runs the Eq. 10
+    // search unless the PlanCache intervenes. Cold = cache disabled
+    // (every scenario pays the search), warm = cache enabled from
+    // empty (first miss computes, the rest of the fleet hits — depth
+    // sweeps and EIRP jitters don't touch the plan key). The two
+    // reports must be byte-identical: a cache hit returns exactly what
+    // the cold path computes.
+    let campaign_planshare_json = {
+        use ivn_core::plancache::PlanCache;
+        use ivn_core::scenario::{builtin, gen, FreqPlan, FreqSelSpec, QuickFull};
+        let n_scenarios = if fast { 128 } else { 256 };
+        let mut base = builtin("session").expect("builtin");
+        base.array.plan = FreqPlan::Optimize {
+            spec: FreqSelSpec {
+                n_antennas: base.array.n_antennas,
+                rms_limit_hz: 199.0,
+                max_offset_hz: 160,
+                mc_draws: QuickFull::same(16),
+                grid: QuickFull::same(512),
+                restarts: QuickFull::same(2),
+                iterations: QuickFull::same(40),
+            },
+            seed: SEED,
+        };
+        let spec = gen::GenSpec {
+            base,
+            count: n_scenarios,
+            seed: SEED + 1,
+            sweeps: vec![gen::SweepAxis {
+                path: "placement.depth_m".into(),
+                values: [0.02, 0.05, 0.08, 0.11]
+                    .iter()
+                    .map(|&d| Json::from(d))
+                    .collect(),
+            }],
+            jitters: vec![gen::JitterSpec {
+                path: "eirp_dbm".into(),
+                frac: 0.05,
+            }],
+        };
+        let fleet = gen::generate(&spec).expect("generate planshare fleet");
+        let cache = PlanCache::global();
+
+        cache.clear();
+        cache.set_enabled(false);
+        let t0 = std::time::Instant::now();
+        let cold = ivn_bench::campaign::run(&fleet, true, threads);
+        let cold_seconds = t0.elapsed().as_secs_f64();
+        assert!(cold.errors.is_empty(), "cold planshare errors: {cold:?}");
+
+        cache.set_enabled(true);
+        cache.clear();
+        cache.reset_counters();
+        let t0 = std::time::Instant::now();
+        let warm = ivn_bench::campaign::run(&fleet, true, threads);
+        let warm_seconds = t0.elapsed().as_secs_f64();
+        assert!(warm.errors.is_empty(), "warm planshare errors: {warm:?}");
+        let (hits, misses) = cache.counters();
+        assert!(hits > 0, "plan-sharing fleet produced no cache hits");
+        assert!(
+            (misses as usize) < n_scenarios,
+            "every scenario missed the plan cache"
+        );
+        let byte_identical = cold.report().dump() == warm.report().dump();
+        assert!(byte_identical, "cache hits diverged from cold computation");
+
+        let cold_per_sec = n_scenarios as f64 / cold_seconds;
+        let warm_per_sec = n_scenarios as f64 / warm_seconds;
+        let speedup = cold_seconds / warm_seconds;
+        let hit_rate = hits as f64 / (hits + misses) as f64;
+        println!(
+            "campaign planshare: {n_scenarios} scenarios cold {cold_per_sec:.1}/s \
+             warm {warm_per_sec:.1}/s ({speedup:.1}x, hit rate {hit_rate:.2})"
+        );
+        Json::obj([
+            ("scenarios", n_scenarios.into()),
+            ("threads", threads.into()),
+            ("cold_seconds", cold_seconds.into()),
+            ("warm_seconds", warm_seconds.into()),
+            ("cold_per_sec", cold_per_sec.into()),
+            ("warm_per_sec", warm_per_sec.into()),
+            ("speedup", speedup.into()),
+            ("cache_hits", (hits as f64).into()),
+            ("cache_misses", (misses as f64).into()),
+            ("hit_rate", hit_rate.into()),
+            ("byte_identical", byte_identical.into()),
+        ])
+    };
+
     // Per-worker pool observatory snapshot, taken after every pooled
     // workload above has run, so the lanes reflect this process's whole
     // dispatch history (sweep + dispatch bench + campaign).
@@ -666,6 +756,7 @@ fn main() -> std::process::ExitCode {
         ("kernels", Json::Arr(kernel_entries)),
         ("streaming", streaming_json),
         ("campaign", campaign_json),
+        ("campaign_planshare", campaign_planshare_json),
         ("pool_workers", pool_workers_json),
         ("results", b.to_json()),
     ];

@@ -233,7 +233,6 @@ pub fn outputs_streaming(quick: bool, opts: &StreamOptions) -> StreamReport {
         let mut src = ConstSource::new(1.0, s.n_samples);
         let mut profile = Vec::new();
         let mut rx = Vec::new();
-        let mut power = Vec::new();
         loop {
             profile.clear();
             let got = src.fill(&mut profile, opts.block);
@@ -247,20 +246,22 @@ pub fn outputs_streaming(quick: bool, opts: &StreamOptions) -> StreamReport {
             let t1 = Instant::now();
             s.superposer.superpose_block(streamer.blocks(), &mut rx);
             let t2 = Instant::now();
+            // Harness bookkeeping, not a pipeline stage: the rx digest
+            // feeds the streaming-vs-batch verify gate only, so it is
+            // excluded from every stage's timing window.
             hasher.update_complex(&rx);
-            power.clear();
-            power.extend(rx.iter().map(|&v| {
-                let a = v.norm();
-                a * a * scale
-            }));
-            state.step_block(&power);
+            let t2b = Instant::now();
+            // |rx|²·scale fused into the integrator: identical op order
+            // to materializing the power vector first (the whole-buffer
+            // oracle does exactly that), one less memory pass.
+            state.step_rx_block(&rx, scale);
             let t3 = Instant::now();
             sdr_ns += (t1 - t0).as_nanos();
             em_ns += (t2 - t1).as_nanos();
-            harv_ns += (t3 - t2).as_nanos();
+            harv_ns += (t3 - t2b).as_nanos();
             footprint.observe("sdr", streamer.peak_lane_footprint());
             footprint.observe("em", rx.len());
-            footprint.observe("harvester", power.len());
+            footprint.observe("harvester", rx.len());
             if done {
                 break;
             }
@@ -268,38 +269,53 @@ pub fn outputs_streaming(quick: bool, opts: &StreamOptions) -> StreamReport {
     }
     let outcome = state.finish();
 
-    // rfid downlink: stream-rasterize a PIE Query and edge-decode it
-    // block by block. The rasterized peak is exactly 1.0 (full-level
-    // leading carrier), so the half-amplitude threshold is 0.5 — the
-    // same comparisons the whole-buffer decoder makes.
+    // rfid: stream-rasterize PIE Query frames and edge-decode them
+    // block by block, each followed by an FM0 RN16 uplink — a
+    // reader-session population rather than a single 378-sample frame,
+    // so the measured MS/s is stable enough to gate in the baseline
+    // sentinel. The population is sized to the sample budget of the
+    // run (one frame ≈ 634 samples downlink+uplink), every session is
+    // the same deterministic round trip, and `downlink_ok`/`uplink_ok`
+    // require *all* of them to decode — equal to the batch oracle's
+    // single round trip by determinism. The rasterized peak is exactly
+    // 1.0 (full-level leading carrier), so the half-amplitude threshold
+    // is 0.5 — the same comparisons the whole-buffer decoder makes.
     let bits = query_bits();
-    let t0 = Instant::now();
-    let mut raster = RunRasterizer::new(
-        encode_frame(&bits, &PieParams::paper_defaults(), true),
-        RFID_FS,
-        0.0,
-    );
-    let mut dec = PieStreamDecoder::new(0.5, RFID_FS);
-    let mut frame = Vec::new();
-    loop {
-        frame.clear();
-        if raster.fill(&mut frame, opts.block) == 0 {
-            break;
-        }
-        dec.push(&frame);
-        footprint.observe("rfid", frame.len());
-    }
-    let rfid_samples = dec.samples_seen();
-    let downlink_ok = dec.finish().map(|d| d == bits).unwrap_or(false);
-
-    // rfid uplink: FM0 round trip of a random RN16, decoded in blocks.
+    let runs = encode_frame(&bits, &PieParams::paper_defaults(), true);
     let fm0 = Fm0::new(8);
     let wave = fm0.encode(&s.rn16);
-    let mut up = Fm0Decoder::new(fm0);
-    for chunk in wave.chunks(opts.block) {
-        up.push(chunk);
+    let frame_len = {
+        let mut probe = RunRasterizer::new(runs.clone(), RFID_FS, 0.0);
+        let mut sink = Vec::new();
+        while probe.fill(&mut sink, 4096) > 0 {}
+        probe.emitted() + wave.len()
+    };
+    let sessions = (s.n_samples / frame_len).max(1);
+    let (mut downlink_ok, mut uplink_ok) = (true, true);
+    let mut rfid_samples = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..sessions {
+        let mut raster = RunRasterizer::new(runs.clone(), RFID_FS, 0.0);
+        let mut dec = PieStreamDecoder::new(0.5, RFID_FS);
+        let mut frame = Vec::new();
+        loop {
+            frame.clear();
+            if raster.fill(&mut frame, opts.block) == 0 {
+                break;
+            }
+            dec.push(&frame);
+            footprint.observe("rfid", frame.len());
+        }
+        rfid_samples += dec.samples_seen();
+        downlink_ok &= dec.finish().map(|d| d == bits).unwrap_or(false);
+
+        let mut up = Fm0Decoder::new(fm0);
+        for chunk in wave.chunks(opts.block) {
+            up.push(chunk);
+        }
+        rfid_samples += wave.len();
+        uplink_ok &= up.finish() == s.rn16;
     }
-    let uplink_ok = up.finish() == s.rn16;
     let rfid_ns = t0.elapsed().as_nanos();
 
     StreamReport {
@@ -349,7 +365,9 @@ pub fn outputs_batch(quick: bool, sample_rate: Option<f64>) -> PathOutputs {
     let tag = &s.tag;
     let p_req = tag.required_peak_power_watts();
     let scale = POWER_MARGIN * p_req / (peak_amp * peak_amp);
-    let power: Vec<f64> = env.iter().map(|&a| a * a * scale).collect();
+    // |rx|²·scale straight from the complex samples — the identical op
+    // order to the streaming driver, so outcomes stay bit-equal.
+    let power: Vec<f64> = rx.samples().iter().map(|&v| v.norm_sqr() * scale).collect();
     let outcome = tag.power_up(&power, s.sample_rate);
 
     let bits = query_bits();

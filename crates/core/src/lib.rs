@@ -35,6 +35,7 @@ pub mod hopping;
 pub mod kernels;
 pub mod multisensor;
 pub mod oob;
+pub mod plancache;
 pub mod scenario;
 pub mod system;
 pub mod twostage;

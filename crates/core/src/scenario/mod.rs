@@ -468,7 +468,10 @@ impl ArraySpec {
     }
 
     /// Resolves to the CIB transmitter configuration (runs the Eq. 10
-    /// search for [`FreqPlan::Optimize`] plans).
+    /// search for [`FreqPlan::Optimize`] plans, consulting the global
+    /// [`PlanCache`](crate::plancache::PlanCache) first — the search
+    /// depends only on the spec, seed and quick flag, so fleets sharing
+    /// an array config compute each plan once).
     pub fn cib(&self, quick: bool) -> CibConfig {
         let offsets_hz = match &self.plan {
             FreqPlan::Paper => {
@@ -479,13 +482,26 @@ impl ArraySpec {
                 crate::PAPER_OFFSETS_HZ[..self.n_antennas].to_vec()
             }
             FreqPlan::Offsets(v) => v.clone(),
-            FreqPlan::Optimize { spec, seed } => optimize(&spec.resolve(quick), *seed).offsets_hz,
+            FreqPlan::Optimize { spec, seed } => crate::plancache::PlanCache::global()
+                .get_or_compute(&self.plan_key(quick), || {
+                    optimize(&spec.resolve(quick), *seed).offsets_hz
+                }),
         };
         CibConfig {
             offsets_hz,
             carrier_hz: self.carrier_hz,
             grid: self.grid,
         }
+    }
+
+    /// The canonical [`PlanCache`](crate::plancache::PlanCache) key for
+    /// this array at the given resolution: the array's canonical JSON
+    /// (fixed field order) plus the quick flag — exactly the inputs
+    /// that reach the plan optimizer, and nothing else (body,
+    /// placement, EIRP and trial seeds cannot influence the offsets, so
+    /// sweep/jitter fleets share the entry).
+    pub fn plan_key(&self, quick: bool) -> String {
+        format!("quick={quick}|{}", self.to_json().dump())
     }
 }
 

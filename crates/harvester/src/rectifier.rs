@@ -73,11 +73,20 @@ impl Rectifier {
         assert!(c_out > 0.0 && dt > 0.0);
         let target = self.steady_state_vdc(vs);
         let v_charged = if target > v_out {
-            target + (v_out - target) * (-dt / (self.r_charge * c_out)).exp()
+            target + (v_out - target) * self.charge_alpha(dt, c_out)
         } else {
             v_out // diodes block; the cap holds (peak-hold behaviour)
         };
         (v_charged - i_load * dt / c_out).max(0.0)
+    }
+
+    /// The per-step RC charging factor `α = exp(−dt/(R·C))` of
+    /// [`Self::step`]. It depends only on the step size and the
+    /// capacitor, so a fixed-rate integrator can hoist it out of the
+    /// per-sample loop: `v' = target + (v − target)·α` with this α is
+    /// bit-identical to calling [`Self::step`] every sample.
+    pub fn charge_alpha(&self, dt: f64, c_out: f64) -> f64 {
+        (-dt / (self.r_charge * c_out)).exp()
     }
 
     /// Runs the transient over an envelope sequence sampled at

@@ -1,0 +1,171 @@
+//! Property pins for the power-up integrator's fast paths.
+//!
+//! Three contracts, PR-7 style:
+//!
+//! 1. `step_block` (the α-hoisted scalar loop) is **bit-identical** to
+//!    `power_up_oracle` (the per-sample `Rectifier::step` loop) on any
+//!    envelope, at any block split.
+//! 2. `step_run` (the closed-form O(runs) fast-forward) tracks the
+//!    oracle within ≤1e-9 on voltages and reproduces the wake index
+//!    exactly.
+//! 3. `step_run` is **bit-identical** under any split of a run into
+//!    sub-runs (segments anchor at data-determined indices).
+
+use ivn_harvester::powerup::{PowerUpOutcome, TagPowerProfile};
+use ivn_runtime::prop::any;
+use ivn_runtime::rng::{Rng, StdRng};
+use ivn_runtime::{prop_assert, prop_assert_eq, props};
+
+const FS: f64 = 1e6;
+
+fn profile(mini: bool) -> TagPowerProfile {
+    if mini {
+        TagPowerProfile::miniature_tag()
+    } else {
+        TagPowerProfile::standard_tag()
+    }
+}
+
+/// A run-length envelope: power levels spanning dead air to strong
+/// drive, with run lengths from single samples to long CW stretches.
+fn runs_from_seed(seed: u64) -> Vec<(f64, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_runs = 2 + (rng.next_u64() % 12) as usize;
+    (0..n_runs)
+        .map(|_| {
+            let p = match rng.next_u64() % 4 {
+                0 => 0.0,
+                1 => 1e-6 * rng.random::<f64>(),
+                2 => 2e-4 * rng.random::<f64>(),
+                _ => 5e-3 * rng.random::<f64>(),
+            };
+            let m = match rng.next_u64() % 3 {
+                0 => 1 + (rng.next_u64() % 9) as usize,
+                1 => 100 + (rng.next_u64() % 2_000) as usize,
+                _ => 10_000 + (rng.next_u64() % 80_000) as usize,
+            };
+            (p, m)
+        })
+        .collect()
+}
+
+fn expand(runs: &[(f64, usize)]) -> Vec<f64> {
+    let mut env = Vec::new();
+    for &(p, m) in runs {
+        env.extend(std::iter::repeat(p).take(m));
+    }
+    env
+}
+
+fn assert_bitwise(a: &PowerUpOutcome, b: &PowerUpOutcome, what: &str) {
+    assert_eq!(a.powered, b.powered, "{what}: powered");
+    assert_eq!(
+        a.time_to_power_s.map(f64::to_bits),
+        b.time_to_power_s.map(f64::to_bits),
+        "{what}: wake time"
+    );
+    assert_eq!(a.peak_vdc.to_bits(), b.peak_vdc.to_bits(), "{what}: peak");
+    assert_eq!(
+        a.final_vdc.to_bits(),
+        b.final_vdc.to_bits(),
+        "{what}: final"
+    );
+}
+
+props! {
+    cases = 48;
+
+    /// Contract 1: the hoisted scalar loop IS the oracle, bit for bit,
+    /// under any block split.
+    fn step_block_bitwise_equals_oracle(seed in any::<u64>(), mini in any::<bool>()) {
+        let tag = profile(mini);
+        let env = expand(&runs_from_seed(seed));
+        let oracle = tag.power_up_oracle(&env, FS);
+        let batch = tag.power_up(&env, FS);
+        assert_bitwise(&batch, &oracle, "batch vs oracle");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut st = tag
+            .begin_power_up(FS)
+            .with_trace_stride((env.len() / 32).max(1));
+        let mut i = 0usize;
+        while i < env.len() {
+            let block = 1 + (rng.next_u64() % 5000) as usize;
+            let end = (i + block).min(env.len());
+            st.step_block(&env[i..end]);
+            i = end;
+        }
+        assert_bitwise(&st.finish(), &oracle, "split blocks vs oracle");
+        prop_assert_eq!(st.samples_seen(), env.len());
+    }
+
+    /// Contract 2: the closed-form fast-forward drifts ≤1e-9 from the
+    /// oracle and wakes at exactly the same sample.
+    fn fast_forward_tracks_oracle(seed in any::<u64>(), mini in any::<bool>()) {
+        let tag = profile(mini);
+        let runs = runs_from_seed(seed);
+        let env = expand(&runs);
+        let oracle = tag.power_up_oracle(&env, FS);
+        let ff = tag.power_up_runs(&runs, FS);
+        prop_assert_eq!(ff.powered, oracle.powered);
+        prop_assert_eq!(
+            ff.time_to_power_s.map(f64::to_bits),
+            oracle.time_to_power_s.map(f64::to_bits)
+        );
+        prop_assert!(
+            (ff.peak_vdc - oracle.peak_vdc).abs() <= 1e-9,
+            "peak drift {} vs {}", ff.peak_vdc, oracle.peak_vdc
+        );
+        prop_assert!(
+            (ff.final_vdc - oracle.final_vdc).abs() <= 1e-9,
+            "final drift {} vs {}", ff.final_vdc, oracle.final_vdc
+        );
+    }
+
+    /// Contract 3: splitting runs into arbitrary sub-runs changes no
+    /// bit of the fast-forward result.
+    fn fast_forward_split_invariant(seed in any::<u64>(), mini in any::<bool>()) {
+        let tag = profile(mini);
+        let runs = runs_from_seed(seed);
+        let whole = tag.power_up_runs(&runs, FS);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xab1e);
+        let mut st = tag.begin_power_up(FS);
+        for &(p, m) in &runs {
+            let mut left = m;
+            while left > 0 {
+                let take = (1 + (rng.next_u64() % 1_000) as usize).min(left);
+                st.step_run(p, take);
+                left -= take;
+            }
+        }
+        // Trace stride differs from power_up_runs' choice, but tracing
+        // is off here and must not affect numerics anyway.
+        let split = st.finish();
+        assert_bitwise(&split, &whole, "split runs vs whole runs");
+    }
+
+    /// Mixed feeding: runs interleaved with per-sample blocks still
+    /// tracks the oracle (the state machine flushes segments cleanly).
+    fn mixed_run_and_block_feeding(seed in any::<u64>()) {
+        let tag = profile(false);
+        let runs = runs_from_seed(seed);
+        let env = expand(&runs);
+        let oracle = tag.power_up_oracle(&env, FS);
+        let mut st = tag.begin_power_up(FS);
+        for (i, &(p, m)) in runs.iter().enumerate() {
+            if i % 2 == 0 {
+                st.step_run(p, m);
+            } else {
+                let block = vec![p; m];
+                st.step_block(&block);
+            }
+        }
+        let out = st.finish();
+        prop_assert_eq!(out.powered, oracle.powered);
+        prop_assert_eq!(
+            out.time_to_power_s.map(f64::to_bits),
+            oracle.time_to_power_s.map(f64::to_bits)
+        );
+        prop_assert!((out.final_vdc - oracle.final_vdc).abs() <= 1e-9);
+        prop_assert!((out.peak_vdc - oracle.peak_vdc).abs() <= 1e-9);
+    }
+}

@@ -119,17 +119,56 @@ impl PieStreamDecoder {
     }
 
     /// Scans one envelope block for falling edges (notch starts).
+    ///
+    /// Runs as two block passes instead of a per-sample state machine:
+    /// a branch-free peak fold, then a level-run scan that hops from
+    /// threshold crossing to threshold crossing (`position` over the
+    /// remaining slice). The crossings found are exactly the per-sample
+    /// `high → !now_high` transitions — a sample is `high` iff
+    /// `v > thr`, so runs of equal level are skipped wholesale — and
+    /// the first sample of a stream still never registers an edge (the
+    /// carried state initializes to that sample's own level, as in the
+    /// whole-buffer decoder).
     pub fn push(&mut self, block: &[f64]) {
-        for &v in block {
-            let now_high = v > self.thr;
-            let high = self.high.unwrap_or(now_high);
-            if high && !now_high {
-                self.edges.push(self.n);
-            }
-            self.high = Some(now_high);
-            self.peak = self.peak.max(v);
-            self.n += 1;
+        if block.is_empty() {
+            return;
         }
+        let thr = self.thr;
+        let mut peak = self.peak;
+        for &v in block {
+            peak = peak.max(v);
+        }
+        self.peak = peak;
+        let mut high = match self.high {
+            Some(h) => h,
+            None => block[0] > thr,
+        };
+        let mut i = 0usize;
+        while i < block.len() {
+            if high {
+                // Falling edge: first sample at or below threshold.
+                match block[i..].iter().position(|&v| !(v > thr)) {
+                    Some(off) => {
+                        self.edges.push(self.n + i + off);
+                        high = false;
+                        i += off + 1;
+                    }
+                    None => break,
+                }
+            } else {
+                // Rising transition: no edge is recorded, but the level
+                // state flips so the next fall registers.
+                match block[i..].iter().position(|&v| v > thr) {
+                    Some(off) => {
+                        high = true;
+                        i += off + 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        self.high = Some(high);
+        self.n += block.len();
     }
 
     /// Classifies the accumulated notch intervals into bits — the back
@@ -202,13 +241,23 @@ impl Fm0Decoder {
     }
 
     /// Folds one baseband block into bits.
+    ///
+    /// Whole symbols are decoded straight off the input slice
+    /// (`chunks_exact`, no per-sample buffering); only a boundary
+    /// symbol straddling the block edge goes through the carry buffer.
+    /// The half-symbol sums run in the same sequential order either
+    /// way, so the decoded bits are byte-identical at any block size.
     pub fn push(&mut self, block: &[f64]) {
         let _span = ivn_runtime::span!("rfid.fm0_decode_ns");
         let spb = self.fm0.samples_per_symbol();
         let half = self.fm0.samples_per_half;
         let mut decoded = 0usize;
-        for &v in block {
-            self.partial.push(v);
+        let mut rest = block;
+        if !self.partial.is_empty() {
+            let need = spb - self.partial.len();
+            let take = need.min(rest.len());
+            self.partial.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
             if self.partial.len() == spb {
                 let first: f64 = self.partial[..half].iter().sum();
                 let second: f64 = self.partial[half..].iter().sum();
@@ -218,6 +267,14 @@ impl Fm0Decoder {
                 decoded += 1;
             }
         }
+        let mut symbols = rest.chunks_exact(spb);
+        for sym in &mut symbols {
+            let first: f64 = sym[..half].iter().sum();
+            let second: f64 = sym[half..].iter().sum();
+            self.bits.push(first.signum() == second.signum());
+            decoded += 1;
+        }
+        self.partial.extend_from_slice(symbols.remainder());
         ivn_runtime::obs_count!("rfid.fm0_symbols_decoded", decoded);
     }
 

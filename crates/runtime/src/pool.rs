@@ -426,7 +426,16 @@ impl WorkerPool {
                 // taken by someone who will finish it.
                 self.shared.run_job(job, callers_lane);
             } else {
-                parts.push(rx.recv().expect("pool worker delivered result"));
+                // Queues are empty: block for a worker's result. This
+                // wait is the callers lane's idle time — without
+                // charging it, `pool.callers.busy_frac` reads a
+                // meaningless 1.0 (the lane only ever logged busy_ns).
+                let waited_at = Instant::now();
+                let part = rx.recv().expect("pool worker delivered result");
+                self.shared.stats[callers_lane]
+                    .idle_ns
+                    .fetch_add(elapsed_ns(waited_at), Ordering::Relaxed);
+                parts.push(part);
             }
         }
         parts
@@ -644,6 +653,34 @@ mod tests {
         for s in &stats {
             assert!(s.busy_frac() >= 0.0 && s.busy_frac() <= 1.0);
         }
+    }
+
+    #[test]
+    fn callers_lane_accounts_recv_wait_as_idle() {
+        // A helping caller that parks in `recv()` (queues drained, a
+        // worker still finishing) must charge that wait to the callers
+        // lane's idle_ns — otherwise its busy_frac is pinned at 1.0 and
+        // `trace_report --attribute` over-credits the main thread. The
+        // exact interleaving is scheduler-dependent, so retry dispatches
+        // until a recv-wait is observed; without the accounting this
+        // never succeeds.
+        let pool = WorkerPool::new(2);
+        let callers = pool.stats().len() - 1;
+        let mut observed = false;
+        for _ in 0..50 {
+            pool.map_indexed(8, 8, |i| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                i
+            });
+            let s = &pool.stats()[callers];
+            assert_eq!(s.lane, "callers");
+            if s.idle_ns > 0 {
+                assert!(s.busy_frac() < 1.0, "stats: {s:?}");
+                observed = true;
+                break;
+            }
+        }
+        assert!(observed, "caller never recorded a recv wait");
     }
 
     #[test]
