@@ -388,6 +388,7 @@ fn main() -> std::process::ExitCode {
     }
 
     let mut b = Bench::new();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let serial_ns = b
         .bench("peak_gain_cdf/serial", || {
             black_box(peak_gain_cdf_threads(offsets, trials, GRID, SEED, 1))
@@ -396,6 +397,17 @@ fn main() -> std::process::ExitCode {
     let mut sweep_entries = Vec::new();
     let mut parallel_ns = serial_ns;
     for &t in &THREAD_SWEEP {
+        if t > cores {
+            // Timing an oversubscribed width only measures contention,
+            // not the pool. Record the skip explicitly so downstream
+            // gates can tell "deliberately skipped" from "missing".
+            println!("threads {t}: skipped (oversubscribed, {cores} cores)");
+            sweep_entries.push(Json::obj([
+                ("threads", t.into()),
+                ("skipped_oversubscribed", true.into()),
+            ]));
+            continue;
+        }
         let ns = if t == 1 {
             serial_ns
         } else {
@@ -411,9 +423,7 @@ fn main() -> std::process::ExitCode {
             ("median_ns", ns.into()),
             ("speedup", speedup.into()),
         ]));
-        if t == THREAD_SWEEP[THREAD_SWEEP.len() - 1] {
-            parallel_ns = ns;
-        }
+        parallel_ns = ns;
     }
     let speedup = serial_ns / parallel_ns;
     println!("worker pool width: {threads}, widest-sweep speedup: {speedup:.2}x");
@@ -423,7 +433,6 @@ fn main() -> std::process::ExitCode {
     // fixed cost the pool exists to remove — on a single-core host the
     // wall-clock sweep above cannot show parallel speedup, but the
     // dispatch delta is real on any machine.
-    let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let pool_json = {
         use ivn_runtime::pool::WorkerPool;
         let items: Vec<usize> = (0..64).collect();
@@ -687,6 +696,74 @@ fn main() -> std::process::ExitCode {
         ])
     };
 
+    // Population-scale inventory fleet: three anti-collision policies,
+    // each inventorying a fleet of bodies carrying 512 tags through the
+    // worker pool. Per-body state is a few counters, so the run holds
+    // constant memory while pushing over a million tag-sessions; a
+    // 64-body probe re-run at 1/2/8 workers pins pool-width invariance.
+    let inventory_json = {
+        use ivn_bench::inventory::{fleet_experiment, run_fleet};
+        use ivn_core::scenario::PolicySpec;
+        let tags_per_body = 512;
+        let bodies = if fast { 768 } else { 1024 };
+        let exp = fleet_experiment(tags_per_body);
+
+        let probe = PolicySpec::Adaptive { q0: 6, c: 0.3 };
+        let one = run_fleet(&exp, probe.clone(), 64, SEED, 1);
+        for t in [2, 8] {
+            assert_eq!(
+                one,
+                run_fleet(&exp, probe.clone(), 64, SEED, t),
+                "inventory fleet diverged at {t} threads"
+            );
+        }
+
+        let policies = [
+            PolicySpec::Adaptive { q0: 6, c: 0.3 },
+            PolicySpec::Fixed { q: 9 },
+            PolicySpec::Schoute { q0: 6 },
+        ];
+        let mut total_sessions = 0usize;
+        let mut policy_entries = Vec::new();
+        for policy in policies {
+            let name = policy.name();
+            let t0 = std::time::Instant::now();
+            let stats = run_fleet(&exp, policy, bodies, SEED, threads);
+            let seconds = t0.elapsed().as_secs_f64();
+            let per_sec = stats.tag_sessions as f64 / seconds;
+            total_sessions += stats.tag_sessions;
+            println!(
+                "inventory {name:<9} {bodies} bodies x {tags_per_body} tags in {seconds:.2} s \
+                 ({per_sec:.0} tag-sessions/sec, rounds-to-full median {:.0})",
+                stats.rounds_to_full_median
+            );
+            policy_entries.push(Json::obj([
+                ("policy", name.into()),
+                ("tag_sessions", stats.tag_sessions.into()),
+                ("seconds", seconds.into()),
+                ("tag_sessions_per_sec", per_sec.into()),
+                ("rounds_to_full_median", stats.rounds_to_full_median.into()),
+                (
+                    "terminated_frac",
+                    (stats.terminated as f64 / bodies as f64).into(),
+                ),
+                ("slots_per_tag", stats.slots_per_tag.into()),
+                ("captures", (stats.captures as usize).into()),
+            ]));
+        }
+        assert!(
+            total_sessions >= 1_000_000,
+            "inventory fleet too small: {total_sessions} tag-sessions"
+        );
+        Json::obj([
+            ("tags_per_body", tags_per_body.into()),
+            ("bodies_per_policy", bodies.into()),
+            ("total_tag_sessions", total_sessions.into()),
+            ("thread_invariant", true.into()),
+            ("policies", Json::Arr(policy_entries)),
+        ])
+    };
+
     // Per-worker pool observatory snapshot, taken after every pooled
     // workload above has run, so the lanes reflect this process's whole
     // dispatch history (sweep + dispatch bench + campaign).
@@ -757,6 +834,7 @@ fn main() -> std::process::ExitCode {
         ("streaming", streaming_json),
         ("campaign", campaign_json),
         ("campaign_planshare", campaign_planshare_json),
+        ("inventory", inventory_json),
         ("pool_workers", pool_workers_json),
         ("results", b.to_json()),
     ];

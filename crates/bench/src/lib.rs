@@ -36,6 +36,10 @@ pub mod campaign;
 /// End-to-end sample-path chain (freqsel → sdr → em → harvester → rfid).
 pub mod pipeline;
 
+/// Population-scale inventory: the `inventory` reproduce target and the
+/// worker-pool fleet behind the runtime bench's throughput numbers.
+pub mod inventory;
+
 /// Offline analyzer for Chrome Trace Event JSON produced under `--trace`.
 pub mod trace_analysis;
 

@@ -36,6 +36,7 @@ pub fn render(s: &Scenario, quick: bool) -> Result<String, String> {
         ScenarioKind::FreqPlanSearch { .. } => crate::tbl_freqs::render(s, quick),
         ScenarioKind::Ablations => crate::ablations::run(quick),
         ScenarioKind::Pipeline => crate::pipeline::run(quick),
+        ScenarioKind::Inventory { .. } => crate::inventory::render(s, quick)?,
         ScenarioKind::PowerSession { .. } | ScenarioKind::MultiSensor { .. } => {
             metrics_report(s, quick)?
         }

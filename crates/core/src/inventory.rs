@@ -1,0 +1,326 @@
+//! Population-scale inventory experiments: link budgets + inter-tag
+//! coupling feeding a full Gen2 anti-collision inventory.
+//!
+//! This is the scenario-level consumer of the PR-10 seam: a
+//! [`ScenarioKind::Inventory`] scenario declares a [`TagPopulation`]
+//! (count, spacing, coupling knobs) and a
+//! [`PolicySpec`](crate::scenario::PolicySpec); [`InventoryExperiment`]
+//! resolves everything that is trial-invariant **once** — per-tag
+//! placements along the geometry axis, coupling gain factors, and the
+//! CIB frequency plan (through the global plan cache, so a fleet of
+//! bodies sharing an array computes the plan one time) — and then runs
+//! trials through [`ivn_rfid::population::inventory_population`].
+//!
+//! Determinism: a trial consumes only forks of its trial stream — tag
+//! `i` draws from `fork(i)` (channel realization + protocol RNG seed)
+//! and the reader-side capture contests from `fork(count)` — so results
+//! are bit-identical at any thread count.
+//!
+//! Two trial flavours share the protocol stage:
+//!
+//! * [`run_trial`](InventoryExperiment::run_trial) draws blind per-tag
+//!   channels (the physical campaign path used by `evaluate`);
+//! * [`run_trial_nominal`](InventoryExperiment::run_trial_nominal)
+//!   powers tags from the precomputed nominal link budget (coherent CIB
+//!   peak), skipping the per-tag channel draws — the bench fleet uses it
+//!   to push millions of tag-sessions through the protocol layer.
+
+use crate::body::Placement;
+use crate::body::TagSpec;
+use crate::cib::CibConfig;
+use crate::scenario::{Scenario, ScenarioKind, TagPopulation};
+use ivn_dsp::units::dbm_to_watts;
+use ivn_rfid::anticollision::CaptureModel;
+use ivn_rfid::population::inventory_population;
+use ivn_rfid::tag::Tag;
+use ivn_runtime::rng::{Rng, StdRng};
+
+/// EPC base for inventory populations; tag `i` gets `base + i`.
+const INVENTORY_EPC_BASE: u128 = 0x3006_0000_0000_0000_0000_0000;
+
+/// Aggregate outcome of one inventory trial (one body, one population).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InventoryRun {
+    /// Population size.
+    pub population: usize,
+    /// Tags that harvested enough power to participate.
+    pub powered: usize,
+    /// Tags actually inventoried.
+    pub inventoried: usize,
+    /// Inventory rounds executed.
+    pub rounds: usize,
+    /// Whether every powered tag was read before `max_rounds`.
+    pub terminated: bool,
+    /// Total protocol slots.
+    pub slots: usize,
+    /// Total collision slots.
+    pub collisions: usize,
+    /// Collision slots resolved by capture.
+    pub captures: usize,
+}
+
+/// A prepared inventory experiment: everything trial-invariant resolved.
+#[derive(Debug, Clone)]
+pub struct InventoryExperiment {
+    cib: CibConfig,
+    spec: TagSpec,
+    placements: Vec<Placement>,
+    coupling: Vec<f64>,
+    nominal_powers: Vec<f64>,
+    policy: crate::scenario::PolicySpec,
+    max_rounds: usize,
+    capture_db: f64,
+    fade_db: f64,
+    eirp_w: f64,
+}
+
+impl InventoryExperiment {
+    /// Resolves an `inventory` scenario: per-tag placements, coupling
+    /// factors, nominal link budgets and the (cached) frequency plan.
+    pub fn prepare(s: &Scenario, quick: bool) -> Result<Self, String> {
+        let ScenarioKind::Inventory {
+            population,
+            policy,
+            max_rounds,
+            capture_db,
+            fade_db,
+        } = &s.kind
+        else {
+            return Err(format!(
+                "scenario '{}' is not inventory (kind '{}')",
+                s.name,
+                s.kind.type_name()
+            ));
+        };
+        Self::prepare_population(s, population, quick).map(|mut e| {
+            e.policy = policy.clone();
+            e.max_rounds = *max_rounds;
+            e.capture_db = *capture_db;
+            e.fade_db = *fade_db;
+            e
+        })
+    }
+
+    /// Resolves the trial-invariant state for an explicit population on
+    /// the scenario's substrate (the campaign runner uses this to sweep
+    /// population sizes without rewriting the scenario kind).
+    pub fn prepare_population(
+        s: &Scenario,
+        population: &TagPopulation,
+        quick: bool,
+    ) -> Result<Self, String> {
+        let cib = s.cib(quick);
+        let spec = s.tag.spec();
+        let eirp_w = dbm_to_watts(s.eirp_dbm);
+        let coupling = population
+            .coupling()
+            .gain_factors(population.count, population.spacing_m);
+        let mut placements = Vec::with_capacity(population.count);
+        for i in 0..population.count {
+            placements.push(
+                s.placement
+                    .at_offset(i as f64 * population.spacing_m)
+                    .resolve()
+                    .map_err(|e| e.reason)?,
+            );
+        }
+        // Nominal budget at the coherent CIB peak: N² over one antenna.
+        let n2 = (cib.n() * cib.n()) as f64;
+        let nominal_powers: Vec<f64> = placements
+            .iter()
+            .zip(&coupling)
+            .map(|(p, c)| p.nominal_rx_power(&spec, eirp_w, cib.carrier_hz) * n2 * c)
+            .collect();
+        Ok(InventoryExperiment {
+            cib,
+            spec,
+            placements,
+            coupling,
+            nominal_powers,
+            policy: crate::scenario::PolicySpec::Adaptive { q0: 4, c: 0.3 },
+            max_rounds: 64,
+            capture_db: 6.0,
+            fade_db: 3.0,
+            eirp_w,
+        })
+    }
+
+    /// Population size.
+    pub fn count(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Same experiment with a different policy arm.
+    pub fn with_policy(&self, policy: crate::scenario::PolicySpec) -> Self {
+        InventoryExperiment {
+            policy,
+            ..self.clone()
+        }
+    }
+
+    /// One physical trial: blind per-tag channel draws (tag `i` from
+    /// `rng.fork(i)`), coupling-scaled CIB peak powers, then the full
+    /// anti-collision inventory.
+    pub fn run_trial(&self, rng: &StdRng) -> InventoryRun {
+        let n = self.count();
+        let mut tags = Vec::with_capacity(n);
+        let mut powers = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut tag_rng = rng.fork(i as u64);
+            let trial = self.placements[i].draw_trial(
+                &mut tag_rng,
+                self.cib.n(),
+                &self.spec,
+                self.eirp_w,
+                self.cib.carrier_hz,
+            );
+            let peak = self.cib.received_peak_power(&trial.channels) * self.coupling[i];
+            self.push_tag(&mut tags, &mut powers, i, peak, tag_rng.random());
+        }
+        self.run_protocol(rng, tags, powers)
+    }
+
+    /// One protocol-dominated trial: tags power from the precomputed
+    /// nominal budget (no channel draws); RNG is spent only on per-tag
+    /// protocol seeds and capture contests. Bit-deterministic per trial
+    /// stream, ~µs per tag — the fleet-scale bench path.
+    pub fn run_trial_nominal(&self, rng: &StdRng) -> InventoryRun {
+        let n = self.count();
+        let mut tags = Vec::with_capacity(n);
+        let mut powers = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut tag_rng = rng.fork(i as u64);
+            self.push_tag(
+                &mut tags,
+                &mut powers,
+                i,
+                self.nominal_powers[i],
+                tag_rng.random(),
+            );
+        }
+        self.run_protocol(rng, tags, powers)
+    }
+
+    fn push_tag(&self, tags: &mut Vec<Tag>, powers: &mut Vec<f64>, i: usize, peak: f64, seed: u64) {
+        let mut tag = Tag::with_epc96(INVENTORY_EPC_BASE + i as u128, seed);
+        tag.set_powered(self.spec.power.can_power_at_peak(peak));
+        tag.set_single_read(true);
+        powers.push(peak);
+        tags.push(tag);
+    }
+
+    fn run_protocol(&self, rng: &StdRng, mut tags: Vec<Tag>, powers: Vec<f64>) -> InventoryRun {
+        let powered = tags.iter().filter(|t| t.is_powered()).count();
+        let mut policy = self.policy.build();
+        let mut capture = (self.capture_db > 0.0).then(|| {
+            CaptureModel::new(
+                powers,
+                self.capture_db,
+                self.fade_db,
+                rng.fork(self.count() as u64),
+            )
+        });
+        let out = inventory_population(
+            policy.as_mut(),
+            capture.as_mut(),
+            &mut tags,
+            self.max_rounds,
+        );
+        InventoryRun {
+            population: self.count(),
+            powered,
+            inventoried: out.epcs.len(),
+            rounds: out.rounds.len(),
+            terminated: out.terminated,
+            slots: out.total_slots(),
+            collisions: out.total_collisions(),
+            captures: out.total_captures(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{builtin, PolicySpec};
+
+    fn prepared() -> InventoryExperiment {
+        InventoryExperiment::prepare(&builtin("inventory").unwrap(), true).unwrap()
+    }
+
+    #[test]
+    fn builtin_inventory_reads_the_population() {
+        let exp = prepared();
+        let rng = StdRng::seed_from_u64(7);
+        let run = exp.run_trial(&rng);
+        assert_eq!(run.population, 64);
+        assert!(run.powered > 32, "only {} powered", run.powered);
+        assert_eq!(run.inventoried, run.powered);
+        assert!(run.terminated, "{run:?}");
+        assert!(run.rounds > 0 && run.slots >= run.powered);
+    }
+
+    #[test]
+    fn trials_are_deterministic_per_stream() {
+        let exp = prepared();
+        let rng = StdRng::seed_from_u64(11);
+        assert_eq!(exp.run_trial(&rng), exp.run_trial(&rng));
+        assert_eq!(exp.run_trial_nominal(&rng), exp.run_trial_nominal(&rng));
+    }
+
+    #[test]
+    fn nominal_path_powers_shallow_tags_only() {
+        // The builtin spreads 64 tags from 2 cm down to ~14.6 cm of
+        // water: the shallow half powers on the nominal budget, the deep
+        // tail does not — and everyone powered gets read.
+        let exp = prepared();
+        let rng = StdRng::seed_from_u64(3);
+        let run = exp.run_trial_nominal(&rng);
+        assert!(
+            run.powered > 32 && run.powered < 64,
+            "powered {}",
+            run.powered
+        );
+        assert!(run.terminated);
+        assert_eq!(run.inventoried, run.powered);
+    }
+
+    #[test]
+    fn every_policy_arm_completes() {
+        let exp = prepared();
+        let rng = StdRng::seed_from_u64(21);
+        for policy in PolicySpec::default_arms() {
+            let run = exp.with_policy(policy.clone()).run_trial_nominal(&rng);
+            assert!(run.terminated, "{} did not finish: {run:?}", policy.name());
+            assert_eq!(run.inventoried, run.powered);
+        }
+    }
+
+    #[test]
+    fn capture_disabled_still_converges() {
+        let s = builtin("inventory").unwrap();
+        let ScenarioKind::Inventory {
+            mut population,
+            policy,
+            max_rounds,
+            fade_db,
+            ..
+        } = s.kind.clone()
+        else {
+            panic!()
+        };
+        population.count = 16;
+        let mut s2 = s.clone();
+        s2.kind = ScenarioKind::Inventory {
+            population,
+            policy,
+            max_rounds,
+            capture_db: 0.0,
+            fade_db,
+        };
+        let exp = InventoryExperiment::prepare(&s2, true).unwrap();
+        let run = exp.run_trial_nominal(&StdRng::seed_from_u64(5));
+        assert_eq!(run.captures, 0);
+        assert!(run.terminated);
+    }
+}

@@ -32,6 +32,7 @@ pub mod cib;
 pub mod experiment;
 pub mod freqsel;
 pub mod hopping;
+pub mod inventory;
 pub mod kernels;
 pub mod multisensor;
 pub mod oob;

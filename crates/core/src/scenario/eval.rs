@@ -134,6 +134,25 @@ pub fn evaluate(s: &Scenario, quick: bool) -> Result<ScenarioMetrics, String> {
         return Ok(metrics);
     }
 
+    if let ScenarioKind::Inventory { population, .. } = &s.kind {
+        let exp = crate::inventory::InventoryExperiment::prepare(s, quick)?;
+        ivn_runtime::obs_count!("experiment.trials", trials * population.count);
+        let runs = par::ensemble_threads(1, trials, s.seed, |rng, _| exp.run_trial(rng));
+        let mut metrics = ScenarioMetrics {
+            name: s.name.clone(),
+            trials: trials * population.count,
+            gains_db: Vec::new(),
+            times_to_power_s: Vec::new(),
+            powered: 0,
+            decoded: 0,
+        };
+        for run in &runs {
+            metrics.powered += run.powered;
+            metrics.decoded += run.inventoried;
+        }
+        return Ok(metrics);
+    }
+
     // Single-sensor substrate: gain → power-up transient → downlink.
     ivn_runtime::obs_count!("experiment.trials", trials);
     let _eval_span = ivn_runtime::span!("experiment.scenario_eval_ns");

@@ -543,6 +543,162 @@ impl FromJson for ArraySpec {
 }
 
 // ---------------------------------------------------------------------
+// Tag populations / anti-collision policies
+// ---------------------------------------------------------------------
+
+/// A population of tags spread along the placement's geometry axis,
+/// with the inter-tag coupling knobs (ivn-em's
+/// [`CouplingModel`](ivn_em::coupling::CouplingModel)). Tag `i` sits at
+/// `i × spacing_m` past the scenario placement and draws its RNG from
+/// the trial stream's fork `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagPopulation {
+    /// Number of tags.
+    pub count: usize,
+    /// Spacing between consecutive tags along the geometry axis, metres.
+    pub spacing_m: f64,
+    /// Mutual-detuning strength (0 disables).
+    pub detuning: f64,
+    /// Shadowing cost per interposed tag, dB (0 disables).
+    pub shadow_db: f64,
+}
+
+impl TagPopulation {
+    /// A population with the coupling knobs off.
+    pub fn uncoupled(count: usize, spacing_m: f64) -> Self {
+        TagPopulation {
+            count,
+            spacing_m,
+            detuning: 0.0,
+            shadow_db: 0.0,
+        }
+    }
+
+    /// The population's coupling model (2 cm reference spacing).
+    pub fn coupling(&self) -> ivn_em::coupling::CouplingModel {
+        ivn_em::coupling::CouplingModel::new(self.detuning, 0.02, self.shadow_db)
+    }
+}
+
+impl ToJson for TagPopulation {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", self.count.into()),
+            ("spacing_m", self.spacing_m.into()),
+            ("detuning", self.detuning.into()),
+            ("shadow_db", self.shadow_db.into()),
+        ])
+    }
+}
+
+impl FromJson for TagPopulation {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let count: usize = field(value, "count")?;
+        if count == 0 {
+            return err("population count must be positive");
+        }
+        Ok(TagPopulation {
+            count,
+            spacing_m: opt_field(value, "spacing_m")?.unwrap_or(0.001),
+            detuning: opt_field(value, "detuning")?.unwrap_or(0.0),
+            shadow_db: opt_field(value, "shadow_db")?.unwrap_or(0.0),
+        })
+    }
+}
+
+/// Declarative form of an anti-collision policy
+/// ([`ivn_rfid::anticollision::AntiCollision`]); `build` instantiates
+/// the trait object, so a scenario file can pick any registered policy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicySpec {
+    /// The Gen2 adaptive Q-algorithm.
+    Adaptive {
+        /// Initial Q.
+        q0: u8,
+        /// Step constant C.
+        c: f64,
+    },
+    /// A constant frame size.
+    Fixed {
+        /// Frame size exponent.
+        q: u8,
+    },
+    /// Schoute backlog estimation.
+    Schoute {
+        /// Initial Q.
+        q0: u8,
+    },
+}
+
+impl PolicySpec {
+    /// The JSON/report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicySpec::Adaptive { .. } => "adaptive",
+            PolicySpec::Fixed { .. } => "fixed",
+            PolicySpec::Schoute { .. } => "schoute",
+        }
+    }
+
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn ivn_rfid::anticollision::AntiCollision> {
+        use ivn_rfid::anticollision::{AdaptiveQ, FixedQ, SchouteQ};
+        use ivn_rfid::reader::QAlgorithm;
+        match self {
+            PolicySpec::Adaptive { q0, c } => {
+                Box::new(AdaptiveQ::new(QAlgorithm { q0: *q0, c: *c }))
+            }
+            PolicySpec::Fixed { q } => Box::new(FixedQ::new(*q)),
+            PolicySpec::Schoute { q0 } => Box::new(SchouteQ::new(*q0)),
+        }
+    }
+
+    /// The three default policy arms every comparison runs.
+    pub fn default_arms() -> Vec<PolicySpec> {
+        vec![
+            PolicySpec::Adaptive { q0: 4, c: 0.3 },
+            PolicySpec::Fixed { q: 6 },
+            PolicySpec::Schoute { q0: 4 },
+        ]
+    }
+}
+
+impl ToJson for PolicySpec {
+    fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> =
+            vec![("type".to_string(), Json::Str(self.name().into()))];
+        match self {
+            PolicySpec::Adaptive { q0, c } => {
+                pairs.push(("q0".into(), (*q0 as usize).into()));
+                pairs.push(("c".into(), (*c).into()));
+            }
+            PolicySpec::Fixed { q } => pairs.push(("q".into(), (*q as usize).into())),
+            PolicySpec::Schoute { q0 } => pairs.push(("q0".into(), (*q0 as usize).into())),
+        }
+        Json::Obj(pairs)
+    }
+}
+
+impl FromJson for PolicySpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let kind: String = field(value, "type")?;
+        Ok(match kind.as_str() {
+            "adaptive" => PolicySpec::Adaptive {
+                q0: opt_field::<usize>(value, "q0")?.unwrap_or(4) as u8,
+                c: opt_field(value, "c")?.unwrap_or(0.3),
+            },
+            "fixed" => PolicySpec::Fixed {
+                q: opt_field::<usize>(value, "q")?.unwrap_or(6) as u8,
+            },
+            "schoute" => PolicySpec::Schoute {
+                q0: opt_field::<usize>(value, "q0")?.unwrap_or(4) as u8,
+            },
+            other => return err(format!("unknown policy '{other}'")),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
 // ScenarioKind
 // ---------------------------------------------------------------------
 
@@ -615,6 +771,20 @@ pub enum ScenarioKind {
         /// Maximum Gen2 inventory rounds.
         max_rounds: usize,
     },
+    /// Population-scale anti-collision inventory: link budgets + inter-tag
+    /// coupling feed a full Gen2 inventory under a pluggable policy.
+    Inventory {
+        /// The tag population and its coupling knobs.
+        population: TagPopulation,
+        /// Frame-sizing policy.
+        policy: PolicySpec,
+        /// Maximum inventory rounds per trial.
+        max_rounds: usize,
+        /// Capture threshold in dB (≤ 0 disables capture arbitration).
+        capture_db: f64,
+        /// Per-reply fade half-range in dB for capture contests.
+        fade_db: f64,
+    },
 }
 
 impl ScenarioKind {
@@ -636,6 +806,7 @@ impl ScenarioKind {
             ScenarioKind::Pipeline => "pipeline",
             ScenarioKind::PowerSession { .. } => "power_session",
             ScenarioKind::MultiSensor { .. } => "multi_sensor",
+            ScenarioKind::Inventory { .. } => "inventory",
         }
     }
 }
@@ -686,6 +857,19 @@ impl ToJson for ScenarioKind {
                 pairs.push(("spacing_m".into(), (*spacing_m).into()));
                 pairs.push(("max_rounds".into(), (*max_rounds).into()));
             }
+            ScenarioKind::Inventory {
+                population,
+                policy,
+                max_rounds,
+                capture_db,
+                fade_db,
+            } => {
+                pairs.push(("population".into(), population.to_json()));
+                pairs.push(("policy".into(), policy.to_json()));
+                pairs.push(("max_rounds".into(), (*max_rounds).into()));
+                pairs.push(("capture_db".into(), (*capture_db).into()));
+                pairs.push(("fade_db".into(), (*fade_db).into()));
+            }
             _ => {}
         }
         Json::Obj(pairs)
@@ -730,6 +914,14 @@ impl FromJson for ScenarioKind {
                 population: field(value, "population")?,
                 spacing_m: opt_field(value, "spacing_m")?.unwrap_or(0.0),
                 max_rounds: opt_field(value, "max_rounds")?.unwrap_or(40),
+            },
+            "inventory" => ScenarioKind::Inventory {
+                population: field(value, "population")?,
+                policy: opt_field(value, "policy")?
+                    .unwrap_or(PolicySpec::Adaptive { q0: 4, c: 0.3 }),
+                max_rounds: opt_field(value, "max_rounds")?.unwrap_or(64),
+                capture_db: opt_field(value, "capture_db")?.unwrap_or(6.0),
+                fade_db: opt_field(value, "fade_db")?.unwrap_or(3.0),
             },
             other => return err(format!("unknown scenario kind '{other}'")),
         })
@@ -869,7 +1061,7 @@ impl FromJson for Scenario {
 
 /// Names of every built-in scenario, in `reproduce all` order plus the
 /// campaign workhorses.
-pub const BUILTIN_NAMES: [&str; 15] = [
+pub const BUILTIN_NAMES: [&str; 16] = [
     "fig2",
     "fig3",
     "fig4",
@@ -885,6 +1077,7 @@ pub const BUILTIN_NAMES: [&str; 15] = [
     "pipeline",
     "session",
     "multisensor",
+    "inventory",
 ];
 
 /// Resolves a built-in scenario by name. Every figure/table target of
@@ -1050,6 +1243,27 @@ pub fn builtin(name: &str) -> Option<Scenario> {
                 },
             )
         },
+        "inventory" => Scenario {
+            seed: 1001,
+            trials: QuickFull { quick: 2, full: 8 },
+            array: ArraySpec::paper(8),
+            placement: PlacementSpec::WaterTank { depth_m: 0.02 },
+            ..Scenario::base(
+                "inventory",
+                ScenarioKind::Inventory {
+                    population: TagPopulation {
+                        count: 64,
+                        spacing_m: 0.002,
+                        detuning: 0.05,
+                        shadow_db: 0.1,
+                    },
+                    policy: PolicySpec::Adaptive { q0: 6, c: 0.3 },
+                    max_rounds: 256,
+                    capture_db: 6.0,
+                    fade_db: 3.0,
+                },
+            )
+        },
         _ => return None,
     };
     Some(s)
@@ -1157,6 +1371,46 @@ mod tests {
             assert!(medium_by_name(&m.name).is_some(), "missing {}", m.name);
         }
         assert!(medium_by_name("unobtainium").is_none());
+    }
+
+    #[test]
+    fn inventory_kind_defaults_and_tolerance() {
+        // Only the population count is mandatory; everything else
+        // defaults, and unknown fields are tolerated.
+        let s = Scenario::parse(
+            r#"{"kind":{"type":"inventory","population":{"count":100,"note":"dense"},
+                "future_knob":1}}"#,
+        )
+        .unwrap();
+        let ScenarioKind::Inventory {
+            population,
+            policy,
+            max_rounds,
+            capture_db,
+            fade_db,
+        } = &s.kind
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(population.count, 100);
+        assert_eq!(population.spacing_m, 0.001);
+        assert_eq!(*policy, PolicySpec::Adaptive { q0: 4, c: 0.3 });
+        assert_eq!(*max_rounds, 64);
+        assert_eq!(*capture_db, 6.0);
+        assert_eq!(*fade_db, 3.0);
+        assert!(
+            Scenario::parse(r#"{"kind":{"type":"inventory","population":{"count":0}}}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn policy_specs_round_trip_and_build() {
+        for p in PolicySpec::default_arms() {
+            let back = PolicySpec::from_json(&p.to_json()).unwrap();
+            assert_eq!(back, p);
+            assert_eq!(back.build().name(), p.name());
+        }
+        assert!(PolicySpec::from_json(&Json::parse(r#"{"type":"aloha"}"#).unwrap()).is_err());
     }
 
     #[test]

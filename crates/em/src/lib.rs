@@ -20,6 +20,7 @@
 pub mod antenna;
 pub mod boundary;
 pub mod channel;
+pub mod coupling;
 pub mod geometry;
 pub mod layered;
 pub mod medium;

@@ -4,6 +4,7 @@ use ivn_dsp::buffer::IqBuffer;
 use ivn_dsp::complex::Complex64;
 use ivn_em::antenna::{received_power, Antenna};
 use ivn_em::boundary::{power_transmittance, reflection};
+use ivn_em::coupling::CouplingModel;
 use ivn_em::geometry::Point3;
 use ivn_em::layered::{single_medium_path, Layer, LayeredPath};
 use ivn_em::medium::Medium;
@@ -125,6 +126,34 @@ props! {
         for (x, y) in rx.iter().zip(batch.samples()) {
             prop_assert_eq!(x.re.to_bits(), y.re.to_bits());
             prop_assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    fn coupling_factors_bounded_and_batch_consistent(
+        det in 0.0f64..1.0, shadow in 0.0f64..2.0,
+        n in 1usize..48, spacing in 0.0005f64..0.05) {
+        let m = CouplingModel::new(det, 0.02, shadow);
+        let batch = m.gain_factors(n, spacing);
+        prop_assert_eq!(batch.len(), n);
+        for (i, &f) in batch.iter().enumerate() {
+            prop_assert!(f > 0.0 && f <= 1.0 + 1e-12);
+            prop_assert!((f - m.gain_factor(i, n, spacing)).abs() < 1e-12);
+        }
+    }
+
+    fn coupling_monotone_in_population_and_spacing(
+        n in 2usize..32, spacing in 0.001f64..0.02) {
+        let m = CouplingModel::dense_implants();
+        // Adding a tag to the line never helps any existing tag.
+        let before = m.gain_factors(n, spacing);
+        let after = m.gain_factors(n + 1, spacing);
+        for (i, &f) in before.iter().enumerate() {
+            prop_assert!(after[i] <= f + 1e-12);
+        }
+        // Spreading the line out never hurts.
+        let wider = m.gain_factors(n, spacing * 2.0);
+        for (i, &f) in before.iter().enumerate() {
+            prop_assert!(wider[i] + 1e-12 >= f);
         }
     }
 }

@@ -1,0 +1,300 @@
+//! Pluggable anti-collision policies and capture-effect arbitration.
+//!
+//! The Gen2 reader has to pick a frame size (Q) for each inventory
+//! round and adapt it from what the slots reveal: empties mean the
+//! frame is too big, collisions mean it is too small. The [`AntiCollision`]
+//! trait is that seam — [`crate::reader::Reader`] drives rounds through
+//! it, so a new policy is one impl in one file:
+//!
+//! * [`AdaptiveQ`] — the standard Gen2 Q-algorithm (floating Qfp ± C per
+//!   slot), exactly the behaviour the reader had before the seam existed;
+//! * [`FixedQ`] — a constant-frame baseline, the control arm every
+//!   adaptive policy is measured against;
+//! * [`SchouteQ`] — a frame-by-frame backlog estimator: Schoute's
+//!   result that under the Poisson/chi-squared occupancy model the
+//!   expected backlog is ≈ 2.39 tags per observed collision slot, so the
+//!   next frame is sized `Q = round(log2(2.39 · collisions))`.
+//!
+//! [`CaptureModel`] adds RN16 capture-effect arbitration on top of slot
+//! resolution: when several tags reply in one slot, the strongest can
+//! still be decoded if its received power exceeds the sum of the others
+//! by a threshold. Per-tag mean powers come from the link budget; a
+//! per-slot uniform fade (seeded from the `ivn-runtime` RNG, so rounds
+//! stay fork-deterministic) decides each contest.
+
+use crate::reader::{QAlgorithm, RoundStats, SlotOutcome};
+use ivn_runtime::rng::{Rng, StdRng};
+
+/// A frame-sizing policy for Gen2 inventory rounds.
+///
+/// The reader calls [`choose_q`](Self::choose_q) once at the start of a
+/// round (the Query's Q field), [`on_slot_outcome`](Self::on_slot_outcome)
+/// after every resolved slot, and [`on_round_end`](Self::on_round_end)
+/// when the frame is exhausted — slot-reactive policies adapt in the
+/// second hook, frame-by-frame estimators in the third.
+pub trait AntiCollision: std::fmt::Debug + Send {
+    /// Q for the next Query (frame size `2^Q` slots).
+    fn choose_q(&self) -> u8;
+
+    /// Per-slot feedback during a round.
+    fn on_slot_outcome(&mut self, outcome: &SlotOutcome);
+
+    /// End-of-round feedback with the frame's tallies.
+    fn on_round_end(&mut self, stats: &RoundStats);
+
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The Gen2 adaptive Q-algorithm behind the [`AntiCollision`] seam:
+/// floating-point Qfp moves ±C per slot, clamped to [0, 15].
+///
+/// This is byte-for-byte the policy [`crate::reader::Reader`] applied
+/// before the seam existed; `Reader::new` still wraps a [`QAlgorithm`]
+/// in it, which is what keeps the pre-refactor goldens bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveQ {
+    params: QAlgorithm,
+    qfp: f64,
+}
+
+impl AdaptiveQ {
+    /// Starts the policy at the parameter block's initial Q.
+    pub fn new(params: QAlgorithm) -> Self {
+        AdaptiveQ {
+            params,
+            qfp: params.q0 as f64,
+        }
+    }
+
+    /// The floating-point Q (test introspection).
+    pub fn qfp(&self) -> f64 {
+        self.qfp
+    }
+}
+
+impl AntiCollision for AdaptiveQ {
+    fn choose_q(&self) -> u8 {
+        (self.qfp.round().clamp(0.0, 15.0)) as u8
+    }
+
+    fn on_slot_outcome(&mut self, outcome: &SlotOutcome) {
+        match outcome {
+            SlotOutcome::Empty => self.qfp = (self.qfp - self.params.c).max(0.0),
+            SlotOutcome::Collision => self.qfp = (self.qfp + self.params.c).min(15.0),
+            SlotOutcome::Inventoried(_) => {}
+        }
+    }
+
+    fn on_round_end(&mut self, _stats: &RoundStats) {}
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+}
+
+/// A constant frame size: Q never moves. The baseline arm of every
+/// policy comparison — optimal only when the population happens to match
+/// `2^Q`, pathological everywhere else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedQ {
+    q: u8,
+}
+
+impl FixedQ {
+    /// A fixed frame of `2^q` slots (q clamped to 15).
+    pub fn new(q: u8) -> Self {
+        FixedQ { q: q.min(15) }
+    }
+}
+
+impl AntiCollision for FixedQ {
+    fn choose_q(&self) -> u8 {
+        self.q
+    }
+
+    fn on_slot_outcome(&mut self, _outcome: &SlotOutcome) {}
+
+    fn on_round_end(&mut self, _stats: &RoundStats) {}
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// Schoute's expected backlog per observed collision slot under the
+/// Poisson occupancy model (the chi-squared frame-occupancy estimate):
+/// each collision slot hides ≈ 2.39 unresolved tags.
+pub const SCHOUTE_BACKLOG_PER_COLLISION: f64 = 2.39;
+
+/// Frame-by-frame backlog estimation: after each round the remaining
+/// population is estimated as `2.39 × collisions` and the next frame is
+/// sized to match (`Q = round(log2(backlog))`). Collision-free frames
+/// shrink Q one step at a time toward the terminal Q=0 round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchouteQ {
+    q: u8,
+}
+
+impl SchouteQ {
+    /// Starts with a `2^q0` frame (q0 clamped to 15).
+    pub fn new(q0: u8) -> Self {
+        SchouteQ { q: q0.min(15) }
+    }
+}
+
+impl AntiCollision for SchouteQ {
+    fn choose_q(&self) -> u8 {
+        self.q
+    }
+
+    fn on_slot_outcome(&mut self, _outcome: &SlotOutcome) {}
+
+    fn on_round_end(&mut self, stats: &RoundStats) {
+        let backlog = SCHOUTE_BACKLOG_PER_COLLISION * stats.collisions as f64;
+        self.q = if backlog < 1.0 {
+            self.q.saturating_sub(1)
+        } else {
+            backlog.log2().round().clamp(0.0, 15.0) as u8
+        };
+    }
+
+    fn name(&self) -> &'static str {
+        "schoute"
+    }
+}
+
+/// Capture-effect arbitration for multi-reply slots.
+///
+/// Physically, colliding backscatter replies are not symmetric: the
+/// reader can often still decode the strongest RN16 when its received
+/// power beats the *sum* of the other repliers by a threshold (FM
+/// capture). Per-tag mean powers are fed from the link budget
+/// (relative units suffice — only ratios matter); each contest draws
+/// one uniform fade per replier from the model's own forked RNG, so a
+/// round's outcomes depend only on the seeds, never on thread count.
+#[derive(Debug, Clone)]
+pub struct CaptureModel {
+    /// Mean received power per tag index, linear relative units.
+    powers: Vec<f64>,
+    /// Linear power ratio the winner must hold over the rest.
+    ratio_lin: f64,
+    /// Half-range of the per-reply uniform fade, dB.
+    fade_db: f64,
+    rng: StdRng,
+}
+
+impl CaptureModel {
+    /// Builds the model from per-tag link-budget powers, a capture
+    /// threshold in dB, a per-reply fade half-range in dB, and the
+    /// (forked) RNG that decides each contest.
+    pub fn new(powers: Vec<f64>, threshold_db: f64, fade_db: f64, rng: StdRng) -> Self {
+        CaptureModel {
+            powers,
+            ratio_lin: 10f64.powf(threshold_db / 10.0),
+            fade_db,
+            rng,
+        }
+    }
+
+    /// Arbitrates one multi-reply slot: returns the index *within
+    /// `replier_tags`* of the captured reply, or `None` for a true
+    /// collision. Draws exactly one fade per replier, in order.
+    pub fn arbitrate(&mut self, replier_tags: &[usize]) -> Option<usize> {
+        let mut best = 0usize;
+        let mut best_p = f64::NEG_INFINITY;
+        let mut total = 0.0;
+        for (k, &tag_idx) in replier_tags.iter().enumerate() {
+            let u: f64 = self.rng.random();
+            let fade = 10f64.powf(self.fade_db * (2.0 * u - 1.0) / 10.0);
+            let p = self.powers.get(tag_idx).copied().unwrap_or(1.0) * fade;
+            total += p;
+            if p > best_p {
+                best_p = p;
+                best = k;
+            }
+        }
+        let rest = total - best_p;
+        (rest <= 0.0 || best_p >= self.ratio_lin * rest).then_some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_matches_legacy_q_algorithm_steps() {
+        let mut p = AdaptiveQ::new(QAlgorithm { q0: 4, c: 0.5 });
+        assert_eq!(p.choose_q(), 4);
+        p.on_slot_outcome(&SlotOutcome::Collision);
+        p.on_slot_outcome(&SlotOutcome::Collision);
+        assert!(p.qfp() > 4.0);
+        let mut down = AdaptiveQ::new(QAlgorithm { q0: 4, c: 0.5 });
+        for _ in 0..4 {
+            down.on_slot_outcome(&SlotOutcome::Empty);
+        }
+        assert_eq!(down.choose_q(), 2);
+        // Clamps at both ends.
+        let mut lo = AdaptiveQ::new(QAlgorithm { q0: 0, c: 0.5 });
+        lo.on_slot_outcome(&SlotOutcome::Empty);
+        assert_eq!(lo.choose_q(), 0);
+        let mut hi = AdaptiveQ::new(QAlgorithm { q0: 15, c: 0.5 });
+        hi.on_slot_outcome(&SlotOutcome::Collision);
+        assert_eq!(hi.choose_q(), 15);
+    }
+
+    #[test]
+    fn fixed_q_never_moves() {
+        let mut p = FixedQ::new(6);
+        p.on_slot_outcome(&SlotOutcome::Collision);
+        p.on_round_end(&RoundStats {
+            collisions: 40,
+            ..Default::default()
+        });
+        assert_eq!(p.choose_q(), 6);
+        assert_eq!(FixedQ::new(99).choose_q(), 15);
+    }
+
+    #[test]
+    fn schoute_sizes_frame_to_estimated_backlog() {
+        let mut p = SchouteQ::new(4);
+        // 27 collision slots ⇒ backlog ≈ 64.5 ⇒ Q = 6.
+        p.on_round_end(&RoundStats {
+            collisions: 27,
+            ..Default::default()
+        });
+        assert_eq!(p.choose_q(), 6);
+        // Collision-free frames walk Q down one step per round.
+        p.on_round_end(&RoundStats::default());
+        assert_eq!(p.choose_q(), 5);
+        let mut zero = SchouteQ::new(0);
+        zero.on_round_end(&RoundStats::default());
+        assert_eq!(zero.choose_q(), 0);
+    }
+
+    #[test]
+    fn capture_resolves_dominant_reply_only() {
+        // Tag 0 is 20 dB above tag 1: captured regardless of a ±1 dB fade.
+        let rng = StdRng::seed_from_u64(5);
+        let mut cap = CaptureModel::new(vec![100.0, 1.0], 6.0, 1.0, rng);
+        assert_eq!(cap.arbitrate(&[0, 1]), Some(0));
+        // Equal powers with no fade: neither can hold a 6 dB margin.
+        let rng = StdRng::seed_from_u64(5);
+        let mut tie = CaptureModel::new(vec![1.0, 1.0], 6.0, 0.0, rng);
+        assert_eq!(tie.arbitrate(&[0, 1]), None);
+    }
+
+    #[test]
+    fn capture_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut cap =
+                CaptureModel::new(vec![4.0, 1.0, 2.0], 3.0, 6.0, StdRng::seed_from_u64(seed));
+            (0..32)
+                .map(|_| cap.arbitrate(&[0, 1, 2]))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "fades ignored the seed");
+    }
+}

@@ -12,12 +12,19 @@
 //!   extended preamble `110100100011` the paper correlates against (§6.2),
 //! * [`miller`] — Miller subcarrier coding (M = 2/4/8),
 //! * [`tag`] — the tag-side state machine with power-loss semantics,
-//! * [`reader`] — inventory-round logic with the adaptive Q algorithm,
+//! * [`reader`] — inventory-round logic driven through the
+//!   anti-collision seam,
+//! * [`anticollision`] — the pluggable frame-sizing policies (adaptive
+//!   Q, fixed Q, Schoute backlog estimation) and the capture-effect
+//!   arbitration model,
+//! * [`population`] — an O(tags + slots) inventory driver for
+//!   population-scale experiments, bit-identical to the broadcast reader,
 //! * [`backscatter`] — the physical reflection-coefficient model whose
 //!   frequency-agnosticism makes the paper's out-of-band reader possible,
 //! * [`link`] — link-timing budget (Tari, BLF, T1…T4) used to derive the
 //!   ~800 µs query duration that constrains CIB's frequency plan.
 
+pub mod anticollision;
 pub mod backscatter;
 pub mod commands;
 pub mod crc;
@@ -26,6 +33,7 @@ pub mod fm0;
 pub mod link;
 pub mod miller;
 pub mod pie;
+pub mod population;
 pub mod reader;
 pub mod stream;
 pub mod tag;

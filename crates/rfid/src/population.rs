@@ -1,0 +1,240 @@
+//! Population-scale inventory driver: O(tags + slots) per round.
+//!
+//! [`crate::reader::Reader::run_round`] broadcasts every command to every
+//! tag, which is O(tags × slots) per round — faithful, but hopeless for
+//! populations of thousands. This module exploits a structural fact of
+//! the protocol: each eligible tag's observable behaviour in a round is
+//! fully determined by two private RNG draws — the slot it picks at the
+//! Query (no draw when q = 0) and the RN16 it generates when that slot
+//! arrives. Tag RNGs are private, so any schedule that preserves each
+//! tag's own draw order is bit-identical to the broadcast loop.
+//!
+//! [`inventory_population`] therefore draws every active tag's slot up
+//! front, buckets tags by slot with a stable counting sort (repliers
+//! stay in ascending tag order, which is the order the broadcast loop
+//! would have them reply in — this is what keeps the *reader-side*
+//! capture RNG byte-identical too), and then walks the frame slot by
+//! slot: empty, single (ACK + EPC), or collision (optionally arbitrated
+//! by the [`CaptureModel`]). The anti-collision policy sees exactly the
+//! same outcome sequence as it would from the broadcast reader.
+//!
+//! The driver requires single-read tags
+//! ([`Tag::set_single_read`](crate::tag::Tag::set_single_read)): without
+//! the inventoried flag a dense population never converges, and the
+//! O(reads²) EPC dedup the naive reader performs would dominate the
+//! round cost. Termination is reported against the *readable* population
+//! (powered, not parked), so fleets with unpowered tags still finish.
+
+use crate::anticollision::{AntiCollision, CaptureModel};
+use crate::reader::{InventoryOutcome, RoundStats, SlotOutcome};
+use crate::tag::Tag;
+
+/// Runs inventory rounds over a tag population until every readable tag
+/// is inventoried or `max_rounds` expires.
+///
+/// Bit-identical to driving [`crate::reader::Reader`] (with the same
+/// policy and capture state) over the same tags, provided the tags are
+/// in single-read mode — see the module docs for why.
+pub fn inventory_population(
+    policy: &mut dyn AntiCollision,
+    mut capture: Option<&mut CaptureModel>,
+    tags: &mut [Tag],
+    max_rounds: usize,
+) -> InventoryOutcome {
+    let target = tags.iter().filter(|t| t.fast_active()).count();
+    let mut out = InventoryOutcome {
+        epcs: Vec::new(),
+        rounds: Vec::new(),
+        terminated: target == 0,
+    };
+
+    // Scratch reused across rounds: active tag indices, their drawn
+    // slots, counting-sort boundaries, and the slot-ordered permutation.
+    let mut active: Vec<u32> = Vec::new();
+    let mut slots: Vec<u32> = Vec::new();
+    let mut starts: Vec<u32> = Vec::new();
+    let mut cursor: Vec<u32> = Vec::new();
+    let mut order: Vec<u32> = Vec::new();
+    let mut repliers: Vec<usize> = Vec::new();
+
+    for _ in 0..max_rounds {
+        if out.terminated {
+            break;
+        }
+        let q = policy.choose_q();
+        let n_slots = 1usize << q;
+
+        active.clear();
+        for (i, t) in tags.iter().enumerate() {
+            if t.fast_active() {
+                active.push(i as u32);
+            }
+        }
+        slots.clear();
+        for &i in &active {
+            slots.push(tags[i as usize].fast_draw_slot(q));
+        }
+
+        // Stable counting sort of active tags by slot.
+        starts.clear();
+        starts.resize(n_slots + 1, 0);
+        for &s in &slots {
+            starts[s as usize + 1] += 1;
+        }
+        for s in 0..n_slots {
+            starts[s + 1] += starts[s];
+        }
+        cursor.clear();
+        cursor.extend_from_slice(&starts[..n_slots]);
+        order.clear();
+        order.resize(active.len(), 0);
+        for (k, &s) in slots.iter().enumerate() {
+            order[cursor[s as usize] as usize] = active[k];
+            cursor[s as usize] += 1;
+        }
+
+        let mut stats = RoundStats::default();
+        for s in 0..n_slots {
+            let (lo, hi) = (starts[s] as usize, starts[s + 1] as usize);
+            let outcome = match hi - lo {
+                0 => SlotOutcome::Empty,
+                1 => {
+                    let idx = order[lo] as usize;
+                    let _rn = tags[idx].fast_draw_rn16();
+                    read_tag(tags, idx)
+                }
+                _ => {
+                    // Every replier in the slot draws its RN16 (index
+                    // order — their RNGs are private, but this mirrors
+                    // the broadcast schedule exactly).
+                    for &ti in &order[lo..hi] {
+                        tags[ti as usize].fast_draw_rn16();
+                    }
+                    match capture.as_deref_mut() {
+                        Some(cap) => {
+                            repliers.clear();
+                            repliers.extend(order[lo..hi].iter().map(|&i| i as usize));
+                            match cap.arbitrate(&repliers) {
+                                Some(k) => {
+                                    stats.captures += 1;
+                                    read_tag(tags, repliers[k])
+                                }
+                                None => SlotOutcome::Collision,
+                            }
+                        }
+                        None => SlotOutcome::Collision,
+                    }
+                }
+            };
+            policy.on_slot_outcome(&outcome);
+            stats.tally(&outcome);
+            if let SlotOutcome::Inventoried(epc) = outcome {
+                out.epcs.push(epc);
+            }
+        }
+        policy.on_round_end(&stats);
+        out.rounds.push(stats);
+        if out.epcs.len() == target {
+            out.terminated = true;
+        }
+    }
+    out
+}
+
+/// ACKs a replier: the EPC reply is CRC-valid by construction, so this
+/// is the Inventoried arm of the broadcast reader's `resolve_slot`.
+fn read_tag(tags: &mut [Tag], idx: usize) -> SlotOutcome {
+    let bits = tags[idx].epc_reply_bits();
+    tags[idx].fast_mark_inventoried();
+    SlotOutcome::Inventoried(bits[16..bits.len() - 16].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anticollision::{AdaptiveQ, FixedQ, SchouteQ};
+    use crate::commands::Session;
+    use crate::reader::{QAlgorithm, Reader};
+    use ivn_runtime::rng::StdRng;
+
+    fn pop(n: usize) -> Vec<Tag> {
+        (0..n)
+            .map(|i| {
+                let mut t = Tag::with_epc96(0x2000 + i as u128, 500 + i as u64);
+                t.set_powered(true);
+                t.set_single_read(true);
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_path_matches_broadcast_reader() {
+        for &n in &[1usize, 2, 5, 8, 17, 33] {
+            let mut naive_tags = pop(n);
+            let mut reader = Reader::new(Session::S0, QAlgorithm { q0: 4, c: 0.3 });
+            let naive = reader.inventory_all(&mut naive_tags, 64);
+
+            let mut fast_tags = pop(n);
+            let mut policy = AdaptiveQ::new(QAlgorithm { q0: 4, c: 0.3 });
+            let fast = inventory_population(&mut policy, None, &mut fast_tags, 64);
+            assert_eq!(naive, fast, "population {n} diverged");
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_broadcast_reader_with_capture() {
+        for &n in &[2usize, 8, 17] {
+            let powers: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+            let cap =
+                |seed| CaptureModel::new(powers.clone(), 3.0, 6.0, StdRng::seed_from_u64(seed));
+
+            let mut naive_tags = pop(n);
+            let mut reader = Reader::new(Session::S0, QAlgorithm { q0: 3, c: 0.3 });
+            reader.set_capture(cap(42));
+            let naive = reader.inventory_all(&mut naive_tags, 64);
+
+            let mut fast_tags = pop(n);
+            let mut policy = AdaptiveQ::new(QAlgorithm { q0: 3, c: 0.3 });
+            let mut capture = cap(42);
+            let fast = inventory_population(&mut policy, Some(&mut capture), &mut fast_tags, 64);
+            assert_eq!(naive, fast, "capture population {n} diverged");
+            assert!(naive.terminated);
+        }
+    }
+
+    #[test]
+    fn all_policies_complete_a_small_inventory() {
+        let policies: Vec<Box<dyn AntiCollision>> = vec![
+            Box::new(AdaptiveQ::new(QAlgorithm { q0: 4, c: 0.3 })),
+            Box::new(FixedQ::new(5)),
+            Box::new(SchouteQ::new(4)),
+        ];
+        for mut p in policies {
+            let mut tags = pop(20);
+            let out = inventory_population(p.as_mut(), None, &mut tags, 256);
+            assert!(out.terminated, "{} never finished", p.name());
+            assert_eq!(out.epcs.len(), 20);
+        }
+    }
+
+    #[test]
+    fn unpowered_tags_excluded_from_target() {
+        let mut tags = pop(6);
+        tags[1].set_powered(false);
+        tags[4].set_powered(false);
+        let mut policy = AdaptiveQ::new(QAlgorithm::default());
+        let out = inventory_population(&mut policy, None, &mut tags, 128);
+        assert!(out.terminated);
+        assert_eq!(out.epcs.len(), 4);
+    }
+
+    #[test]
+    fn empty_population_terminates_immediately() {
+        let mut tags: Vec<Tag> = Vec::new();
+        let mut policy = AdaptiveQ::new(QAlgorithm::default());
+        let out = inventory_population(&mut policy, None, &mut tags, 16);
+        assert!(out.terminated);
+        assert!(out.rounds.is_empty());
+    }
+}

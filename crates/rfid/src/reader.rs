@@ -1,13 +1,18 @@
-//! Reader-side inventory logic with the adaptive Q algorithm.
+//! Reader-side inventory logic driven through the anti-collision seam.
 //!
-//! Drives rounds of Query/QueryRep against a population of tags, resolving
-//! slots into empty / single / collision outcomes and adapting Q with the
-//! standard Gen2 Q-algorithm (floating-point Qfp, ±C steps). The physical
-//! decoding happens elsewhere (ivn-core's out-of-band reader); here the
-//! protocol logic is exercised against [`crate::tag::Tag`] objects
-//! directly, which is how the protocol-level tests and the multi-sensor
-//! experiments run.
+//! Drives rounds of Query/QueryRep against a population of tags,
+//! resolving slots into empty / single / collision outcomes. Frame
+//! sizing is delegated to an [`AntiCollision`] policy — the default
+//! [`Reader::new`] wraps the classic Gen2 [`QAlgorithm`] (floating-point
+//! Qfp, ±C steps) in [`crate::anticollision::AdaptiveQ`], bit-identical
+//! to the pre-seam behaviour; [`Reader::with_policy`] accepts any other
+//! impl. An optional [`CaptureModel`] adds capture-effect arbitration to
+//! multi-reply slots. The physical decoding happens elsewhere
+//! (ivn-core's out-of-band reader); here the protocol logic is
+//! exercised against [`crate::tag::Tag`] objects directly, which is how
+//! the protocol-level tests and the multi-sensor experiments run.
 
+use crate::anticollision::{AdaptiveQ, AntiCollision, CaptureModel};
 use crate::commands::{Command, DivideRatio, Session, TagEncoding};
 use crate::tag::{Tag, TagReply};
 
@@ -37,6 +42,13 @@ impl Default for QAlgorithm {
     }
 }
 
+impl QAlgorithm {
+    /// These parameters as an [`AntiCollision`] policy.
+    pub fn policy(self) -> AdaptiveQ {
+        AdaptiveQ::new(self)
+    }
+}
+
 /// Inventory statistics for one round.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RoundStats {
@@ -46,29 +58,90 @@ pub struct RoundStats {
     pub singles: usize,
     /// Slots with collisions.
     pub collisions: usize,
+    /// Multi-reply slots resolved by capture (also counted in `singles`).
+    pub captures: usize,
+}
+
+impl RoundStats {
+    /// Total slots in the round.
+    pub fn slots(&self) -> usize {
+        self.empty + self.singles + self.collisions
+    }
+}
+
+/// Result of [`Reader::inventory_all`] (and the population fast path in
+/// [`crate::population`]): the EPCs read, per-round diagnostics, and
+/// whether the inventory actually finished or just ran out of rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InventoryOutcome {
+    /// Unique EPCs read, in first-read order.
+    pub epcs: Vec<Vec<bool>>,
+    /// Per-round slot tallies, one entry per executed round.
+    pub rounds: Vec<RoundStats>,
+    /// `true` when every target tag was read; `false` means the round
+    /// budget ran out first.
+    pub terminated: bool,
+}
+
+impl InventoryOutcome {
+    /// Rounds needed to complete the inventory (`None` if it never did).
+    pub fn rounds_to_full(&self) -> Option<usize> {
+        self.terminated.then_some(self.rounds.len())
+    }
+
+    /// Total protocol slots across all rounds.
+    pub fn total_slots(&self) -> usize {
+        self.rounds.iter().map(RoundStats::slots).sum()
+    }
+
+    /// Total collision slots across all rounds.
+    pub fn total_collisions(&self) -> usize {
+        self.rounds.iter().map(|r| r.collisions).sum()
+    }
+
+    /// Total capture-resolved slots across all rounds.
+    pub fn total_captures(&self) -> usize {
+        self.rounds.iter().map(|r| r.captures).sum()
+    }
 }
 
 /// A Gen2 reader running inventory rounds.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Reader {
     session: Session,
-    q_alg: QAlgorithm,
-    qfp: f64,
+    policy: Box<dyn AntiCollision>,
+    capture: Option<CaptureModel>,
 }
 
 impl Reader {
-    /// Creates a reader.
+    /// Creates a reader with the classic Gen2 adaptive Q-algorithm.
     pub fn new(session: Session, q_alg: QAlgorithm) -> Self {
+        Self::with_policy(session, Box::new(q_alg.policy()))
+    }
+
+    /// Creates a reader driving rounds through an arbitrary
+    /// anti-collision policy.
+    pub fn with_policy(session: Session, policy: Box<dyn AntiCollision>) -> Self {
         Reader {
             session,
-            q_alg,
-            qfp: q_alg.q0 as f64,
+            policy,
+            capture: None,
         }
+    }
+
+    /// Arms capture-effect arbitration for multi-reply slots.
+    pub fn set_capture(&mut self, capture: CaptureModel) {
+        self.capture = Some(capture);
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
     /// Current integer Q.
     pub fn q(&self) -> u8 {
-        (self.qfp.round().clamp(0.0, 15.0)) as u8
+        self.policy.choose_q()
     }
 
     /// Builds the Query command for the next round.
@@ -82,13 +155,9 @@ impl Reader {
         }
     }
 
-    /// Updates Qfp from a slot outcome per the Gen2 Q-algorithm.
+    /// Feeds a slot outcome to the anti-collision policy.
     pub fn update_q(&mut self, outcome: &SlotOutcome) {
-        match outcome {
-            SlotOutcome::Empty => self.qfp = (self.qfp - self.q_alg.c).max(0.0),
-            SlotOutcome::Collision => self.qfp = (self.qfp + self.q_alg.c).min(15.0),
-            SlotOutcome::Inventoried(_) => {}
-        }
+        self.policy.on_slot_outcome(outcome);
     }
 
     /// Runs one full inventory round against a tag population. Returns the
@@ -96,7 +165,8 @@ impl Reader {
     ///
     /// All tags receive every command (they share the channel); the reader
     /// observes the superposition: zero replies = empty, one = decodable,
-    /// more = collision.
+    /// more = collision — unless an armed [`CaptureModel`] lets the
+    /// strongest reply through.
     pub fn run_round(&mut self, tags: &mut [Tag]) -> (Vec<SlotOutcome>, RoundStats) {
         let query = self.query();
         let n_slots = 1usize << self.q();
@@ -110,7 +180,7 @@ impl Reader {
                 replies.push((i, rn));
             }
         }
-        let outcome = self.resolve_slot(&replies, tags);
+        let outcome = self.resolve_slot(&replies, tags, &mut stats);
         self.update_q(&outcome);
         stats.tally(&outcome);
         outcomes.push(outcome);
@@ -126,57 +196,85 @@ impl Reader {
                     replies.push((i, rn));
                 }
             }
-            let outcome = self.resolve_slot(&replies, tags);
+            let outcome = self.resolve_slot(&replies, tags, &mut stats);
             self.update_q(&outcome);
             stats.tally(&outcome);
             outcomes.push(outcome);
         }
+        self.policy.on_round_end(&stats);
         (outcomes, stats)
     }
 
     /// Inventories a population to completion (bounded rounds), returning
-    /// the set of unique EPCs read.
-    pub fn inventory_all(&mut self, tags: &mut [Tag], max_rounds: usize) -> Vec<Vec<bool>> {
-        let mut seen: Vec<Vec<bool>> = Vec::new();
+    /// the unique EPCs read plus per-round diagnostics and whether the
+    /// population was fully read before the round budget expired.
+    pub fn inventory_all(&mut self, tags: &mut [Tag], max_rounds: usize) -> InventoryOutcome {
+        let mut out = InventoryOutcome {
+            epcs: Vec::new(),
+            rounds: Vec::new(),
+            terminated: false,
+        };
         for _ in 0..max_rounds {
-            let (outcomes, _) = self.run_round(tags);
+            let (outcomes, stats) = self.run_round(tags);
+            out.rounds.push(stats);
             for o in outcomes {
                 if let SlotOutcome::Inventoried(epc) = o {
-                    if !seen.contains(&epc) {
-                        seen.push(epc);
+                    if !out.epcs.contains(&epc) {
+                        out.epcs.push(epc);
                     }
                 }
             }
-            if seen.len() == tags.len() {
+            if out.epcs.len() == tags.len() {
+                out.terminated = true;
                 break;
             }
         }
-        seen
+        out
     }
 
-    fn resolve_slot(&self, replies: &[(usize, u16)], tags: &mut [Tag]) -> SlotOutcome {
-        match replies {
-            [] => SlotOutcome::Empty,
-            [(idx, rn)] => {
-                // ACK the single responder; it answers with its EPC.
-                match tags[*idx].process(&Command::Ack { rn16: *rn }) {
-                    TagReply::Epc(bits) => {
-                        if crate::crc::check_crc16(&bits) {
-                            SlotOutcome::Inventoried(bits[16..bits.len() - 16].to_vec())
-                        } else {
-                            SlotOutcome::Empty
-                        }
-                    }
-                    _ => SlotOutcome::Empty,
+    /// ACKs a single replier and checks the EPC reply's CRC.
+    fn ack_one(idx: usize, rn: u16, tags: &mut [Tag]) -> SlotOutcome {
+        match tags[idx].process(&Command::Ack { rn16: rn }) {
+            TagReply::Epc(bits) => {
+                if crate::crc::check_crc16(&bits) {
+                    SlotOutcome::Inventoried(bits[16..bits.len() - 16].to_vec())
+                } else {
+                    SlotOutcome::Empty
                 }
             }
-            _ => SlotOutcome::Collision,
+            _ => SlotOutcome::Empty,
+        }
+    }
+
+    fn resolve_slot(
+        &mut self,
+        replies: &[(usize, u16)],
+        tags: &mut [Tag],
+        stats: &mut RoundStats,
+    ) -> SlotOutcome {
+        match replies {
+            [] => SlotOutcome::Empty,
+            [(idx, rn)] => Self::ack_one(*idx, *rn, tags),
+            _ => {
+                if let Some(cap) = self.capture.as_mut() {
+                    let repliers: Vec<usize> = replies.iter().map(|&(i, _)| i).collect();
+                    if let Some(k) = cap.arbitrate(&repliers) {
+                        let (idx, rn) = replies[k];
+                        let outcome = Self::ack_one(idx, rn, tags);
+                        if matches!(outcome, SlotOutcome::Inventoried(_)) {
+                            stats.captures += 1;
+                        }
+                        return outcome;
+                    }
+                }
+                SlotOutcome::Collision
+            }
         }
     }
 }
 
 impl RoundStats {
-    fn tally(&mut self, o: &SlotOutcome) {
+    pub(crate) fn tally(&mut self, o: &SlotOutcome) {
         match o {
             SlotOutcome::Empty => self.empty += 1,
             SlotOutcome::Inventoried(_) => self.singles += 1,
@@ -188,6 +286,8 @@ impl RoundStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::anticollision::FixedQ;
+    use ivn_runtime::rng::StdRng;
 
     fn make_tags(n: usize) -> Vec<Tag> {
         (0..n)
@@ -207,6 +307,7 @@ mod tests {
         assert_eq!(outcomes.len(), 1);
         assert!(matches!(outcomes[0], SlotOutcome::Inventoried(_)));
         assert_eq!(stats.singles, 1);
+        assert_eq!(stats.captures, 0);
     }
 
     #[test]
@@ -231,11 +332,60 @@ mod tests {
     }
 
     #[test]
+    fn capture_breaks_q0_collision_when_one_tag_dominates() {
+        let mut reader = Reader::new(Session::S0, QAlgorithm { q0: 0, c: 0.3 });
+        reader.set_capture(CaptureModel::new(
+            vec![1000.0, 1.0],
+            6.0,
+            0.0,
+            StdRng::seed_from_u64(1),
+        ));
+        let mut tags = make_tags(2);
+        let expected = tags[0].epc().to_vec();
+        let (outcomes, stats) = reader.run_round(&mut tags);
+        assert_eq!(outcomes[0], SlotOutcome::Inventoried(expected));
+        assert_eq!(stats.captures, 1);
+        assert_eq!(stats.singles, 1);
+        assert_eq!(stats.collisions, 0);
+    }
+
+    #[test]
+    fn balanced_powers_still_collide_under_capture() {
+        let mut reader = Reader::new(Session::S0, QAlgorithm { q0: 0, c: 0.3 });
+        reader.set_capture(CaptureModel::new(
+            vec![1.0, 1.0],
+            6.0,
+            0.0,
+            StdRng::seed_from_u64(1),
+        ));
+        let mut tags = make_tags(2);
+        let (outcomes, stats) = reader.run_round(&mut tags);
+        assert_eq!(outcomes[0], SlotOutcome::Collision);
+        assert_eq!(stats.captures, 0);
+    }
+
+    #[test]
     fn population_inventoried_with_slotting() {
         let mut reader = Reader::new(Session::S0, QAlgorithm { q0: 4, c: 0.3 });
         let mut tags = make_tags(8);
-        let seen = reader.inventory_all(&mut tags, 50);
-        assert_eq!(seen.len(), 8, "inventoried {} of 8", seen.len());
+        let out = reader.inventory_all(&mut tags, 50);
+        assert_eq!(out.epcs.len(), 8, "inventoried {} of 8", out.epcs.len());
+        assert!(out.terminated);
+        assert_eq!(out.rounds_to_full(), Some(out.rounds.len()));
+        assert!(out.total_slots() >= 8);
+    }
+
+    #[test]
+    fn round_budget_exhaustion_reported_not_terminated() {
+        // A 1-slot frame against 8 tags collides every round: the
+        // diagnostics must say "budget ran out", not "all read".
+        let mut reader = Reader::with_policy(Session::S0, Box::new(FixedQ::new(0)));
+        let mut tags = make_tags(8);
+        let out = reader.inventory_all(&mut tags, 5);
+        assert!(!out.terminated);
+        assert_eq!(out.rounds_to_full(), None);
+        assert_eq!(out.rounds.len(), 5);
+        assert_eq!(out.total_collisions(), 5);
     }
 
     #[test]
@@ -244,12 +394,11 @@ mod tests {
         let q_before = reader.q();
         reader.update_q(&SlotOutcome::Collision);
         reader.update_q(&SlotOutcome::Collision);
-        assert!(reader.qfp > q_before as f64);
+        assert!(reader.q() > q_before);
         let mut reader2 = Reader::new(Session::S0, QAlgorithm { q0: 4, c: 0.5 });
         for _ in 0..4 {
             reader2.update_q(&SlotOutcome::Empty);
         }
-        assert!(reader2.qfp < 4.0);
         assert_eq!(reader2.q(), 2);
     }
 
@@ -267,8 +416,9 @@ mod tests {
     fn unpowered_population_reads_nothing() {
         let mut reader = Reader::new(Session::S0, QAlgorithm::default());
         let mut tags: Vec<Tag> = (0..3).map(|i| Tag::with_epc96(i, i as u64)).collect();
-        let seen = reader.inventory_all(&mut tags, 5);
-        assert!(seen.is_empty());
+        let out = reader.inventory_all(&mut tags, 5);
+        assert!(out.epcs.is_empty());
+        assert!(!out.terminated);
     }
 
     #[test]
@@ -290,8 +440,8 @@ mod tests {
         for t in tags.iter_mut() {
             t.process(&sel);
         }
-        let seen = reader.inventory_all(&mut tags, 30);
-        assert_eq!(seen.len(), 1);
-        assert_eq!(seen[0], keep_epc);
+        let out = reader.inventory_all(&mut tags, 30);
+        assert_eq!(out.epcs.len(), 1);
+        assert_eq!(out.epcs[0], keep_epc);
     }
 }

@@ -54,6 +54,11 @@ pub struct Tag {
     rn16: u16,
     session: Session,
     rng: StdRng,
+    /// Gen2 inventoried flag: set on a successful ACK, wiped by brownout.
+    inventoried: bool,
+    /// Honour the inventoried flag (stay silent once read). Off by
+    /// default — the legacy experiments re-read tags every round.
+    single_read: bool,
 }
 
 impl Tag {
@@ -71,6 +76,8 @@ impl Tag {
             rn16: 0,
             session: Session::S0,
             rng: StdRng::seed_from_u64(seed),
+            inventoried: false,
+            single_read: false,
         }
     }
 
@@ -106,6 +113,19 @@ impl Tag {
         self.slot
     }
 
+    /// Whether the tag has been inventoried this power cycle.
+    pub fn is_inventoried(&self) -> bool {
+        self.inventoried
+    }
+
+    /// Enables Gen2 single-read semantics: once ACKed, the tag stays
+    /// silent at subsequent Queries until a brownout wipes the flag.
+    /// Population-scale inventory needs this to converge; the default
+    /// (off) preserves the legacy re-read-every-round behaviour.
+    pub fn set_single_read(&mut self, single_read: bool) {
+        self.single_read = single_read;
+    }
+
     /// Supplies or removes chip power. Losing power wipes volatile state.
     pub fn set_powered(&mut self, powered: bool) {
         if self.powered && !powered {
@@ -113,6 +133,7 @@ impl Tag {
             self.state = TagState::Ready;
             self.slot = 0;
             self.rn16 = 0;
+            self.inventoried = false;
         }
         self.powered = powered;
     }
@@ -136,7 +157,7 @@ impl Tag {
                 TagReply::Silent
             }
             Command::Query { session, q, .. } => {
-                if self.state == TagState::Parked {
+                if self.state == TagState::Parked || (self.single_read && self.inventoried) {
                     return TagReply::Silent;
                 }
                 self.session = *session;
@@ -186,6 +207,7 @@ impl Tag {
             Command::Ack { rn16 } => {
                 if self.state == TagState::Reply && *rn16 == self.rn16 {
                     self.state = TagState::Acknowledged;
+                    self.inventoried = true;
                     TagReply::Epc(self.epc_reply_bits())
                 } else {
                     // Wrong RN16: fall back to arbitration.
@@ -215,6 +237,41 @@ impl Tag {
         bits.extend_from_slice(&self.epc);
         crate::crc::append_crc16(&mut bits);
         bits
+    }
+
+    // ---- population fast-path hooks ---------------------------------
+    //
+    // `crate::population` runs rounds in O(tags + slots) by bucketing
+    // drawn slots instead of broadcasting every command to every tag.
+    // These helpers replay *exactly* the RNG draw sequence `process`
+    // would perform for an eligible tag in a collision-free protocol
+    // exchange — slot draw at Query (skipped when q == 0), then one RN16
+    // draw when its slot arrives — which is what keeps the fast path
+    // bit-identical to the naive loop.
+
+    /// Whether the tag would participate in the next Query.
+    pub(crate) fn fast_active(&self) -> bool {
+        self.powered && self.state != TagState::Parked && !(self.single_read && self.inventoried)
+    }
+
+    /// Mirrors the Query slot draw (no draw at q == 0).
+    pub(crate) fn fast_draw_slot(&mut self, q: u8) -> u32 {
+        if q == 0 {
+            0
+        } else {
+            self.rng.random_range(0..(1u32 << q))
+        }
+    }
+
+    /// Mirrors the RN16 draw a tag performs when its slot counter hits 0.
+    pub(crate) fn fast_draw_rn16(&mut self) -> u16 {
+        self.rn16 = self.rng.random();
+        self.rn16
+    }
+
+    /// Marks a successful ACK (single-read bookkeeping).
+    pub(crate) fn fast_mark_inventoried(&mut self) {
+        self.inventoried = true;
     }
 }
 
@@ -362,6 +419,41 @@ mod tests {
             session: Session::S2,
         });
         assert_eq!(t.slot(), before);
+    }
+
+    #[test]
+    fn single_read_silences_inventoried_tag_until_brownout() {
+        let mut t = powered_tag();
+        t.set_single_read(true);
+        let rn = match t.process(&query(0)) {
+            TagReply::Rn16(rn) => rn,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(
+            t.process(&Command::Ack { rn16: rn }),
+            TagReply::Epc(_)
+        ));
+        assert!(t.is_inventoried());
+        // Read once: silent at the next Query.
+        assert_eq!(t.process(&query(0)), TagReply::Silent);
+        // Brownout wipes the flag; the tag replies again.
+        t.set_powered(false);
+        t.set_powered(true);
+        assert!(!t.is_inventoried());
+        assert!(matches!(t.process(&query(0)), TagReply::Rn16(_)));
+    }
+
+    #[test]
+    fn default_tags_reread_every_round() {
+        let mut t = powered_tag();
+        let rn = match t.process(&query(0)) {
+            TagReply::Rn16(rn) => rn,
+            other => panic!("{other:?}"),
+        };
+        let _ = t.process(&Command::Ack { rn16: rn });
+        assert!(t.is_inventoried());
+        // Without single-read the flag is advisory only.
+        assert!(matches!(t.process(&query(0)), TagReply::Rn16(_)));
     }
 
     #[test]

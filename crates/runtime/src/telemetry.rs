@@ -132,13 +132,16 @@ where
     F: FnMut(&Snapshot) + Send + 'static,
 {
     let (stop_tx, stop_rx) = mpsc::channel::<()>();
+    // Seed `prev` with the current registry state so heartbeat 0 is a
+    // clean baseline instead of a lifetime-sized "delta". Taken on the
+    // caller's thread: anything counted after `start` returns lands in
+    // an interval delta even when the sampler thread is scheduled late.
+    let baseline = obs::report();
+    let t0 = Instant::now();
     let handle = std::thread::Builder::new()
         .name("ivn-flight-recorder".into())
         .spawn(move || -> std::io::Result<()> {
-            let t0 = Instant::now();
-            // Seed `prev` with the current registry state so heartbeat 0
-            // is a clean baseline instead of a lifetime-sized "delta".
-            let mut prev = obs::report();
+            let mut prev = baseline;
             let mut prev_t = t0;
             let mut seq = 0u64;
             let mut emit = |sink: &mut W,

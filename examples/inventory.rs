@@ -1,0 +1,62 @@
+//! Population-scale inventory: 1000 battery-free tags on one body,
+//! three anti-collision policies head to head — the PR-10 seam from the
+//! scenario side. Declares a [`TagPopulation`] on a free-space
+//! placement, prepares the experiment once (placements, inter-tag
+//! coupling, cached frequency plan), then swaps the policy arm per run.
+//!
+//! ```sh
+//! cargo run --release --example inventory
+//! ```
+
+use ivn::core::inventory::InventoryExperiment;
+use ivn::core::scenario::{PlacementSpec, PolicySpec, Scenario, ScenarioKind, TagPopulation};
+use ivn_runtime::rng::StdRng;
+
+fn main() {
+    // 1000 tags a millimetre apart, lightly detuning each other, on the
+    // paper's 10-antenna array one metre out.
+    let mut s = Scenario::base(
+        "example-inventory",
+        ScenarioKind::Inventory {
+            population: TagPopulation {
+                count: 1000,
+                spacing_m: 0.001,
+                detuning: 0.02,
+                shadow_db: 0.01,
+            },
+            policy: PolicySpec::Adaptive { q0: 6, c: 0.3 },
+            max_rounds: 2048,
+            capture_db: 6.0,
+            fade_db: 3.0,
+        },
+    );
+    s.placement = PlacementSpec::FreeSpace { range_m: 1.0 };
+    let exp = InventoryExperiment::prepare(&s, true).expect("scenario resolves");
+
+    println!("Inventorying 1000 tags, capture threshold 6 dB\n");
+    println!(
+        "{:>10}  {:>8}  {:>8}  {:>10}  {:>10}  {:>9}",
+        "policy", "read", "rounds", "slots/tag", "collisions", "captures"
+    );
+
+    let policies = [
+        PolicySpec::Adaptive { q0: 6, c: 0.3 },
+        PolicySpec::Fixed { q: 10 },
+        PolicySpec::Schoute { q0: 6 },
+    ];
+    let rng = StdRng::seed_from_u64(0x1209);
+    for policy in policies {
+        let run = exp.with_policy(policy.clone()).run_trial_nominal(&rng);
+        println!(
+            "{:>10}  {:>8}  {:>8}  {:>10.2}  {:>10}  {:>9}",
+            policy.name(),
+            format!("{}/{}", run.inventoried, run.powered),
+            run.rounds,
+            run.slots as f64 / run.inventoried.max(1) as f64,
+            run.collisions,
+            run.captures
+        );
+    }
+    println!("\nSame prepared experiment, same RNG stream: the policy is the");
+    println!("only moving part, so the rows are directly comparable.");
+}

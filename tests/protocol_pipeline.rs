@@ -89,8 +89,10 @@ fn multi_tag_inventory_over_protocol() {
         })
         .collect();
     let mut reader = Reader::new(Session::S0, QAlgorithm { q0: 4, c: 0.3 });
-    let seen = reader.inventory_all(&mut tags, 80);
-    assert_eq!(seen.len(), 12, "inventoried {}/12", seen.len());
+    let out = reader.inventory_all(&mut tags, 80);
+    assert_eq!(out.epcs.len(), 12, "inventoried {}/12", out.epcs.len());
+    assert!(out.terminated);
+    assert_eq!(out.rounds_to_full(), Some(out.rounds.len()));
 }
 
 #[test]
@@ -113,8 +115,9 @@ fn brownout_mid_round_recovers_next_round() {
         t.set_powered(true);
     }
     // Inventory still completes afterwards.
-    let seen = reader.inventory_all(&mut tags, 60);
-    assert_eq!(seen.len(), 3);
+    let out = reader.inventory_all(&mut tags, 60);
+    assert_eq!(out.epcs.len(), 3);
+    assert!(out.terminated);
 }
 
 #[test]
